@@ -1,0 +1,102 @@
+//! Property-based checks of the Section V model's structural properties.
+
+use proptest::prelude::*;
+use vcf_analysis as model;
+
+proptest! {
+    /// Equ. 8 is a probability for every valid (f, l).
+    #[test]
+    fn p_four_is_probability(f in 2u32..32, zeros_frac in 0.0f64..1.0) {
+        let l = ((f as f64 - 1.0) * zeros_frac) as u32 + 1;
+        prop_assume!(l < f);
+        let p = model::p_four(f, l);
+        prop_assert!((0.0..=1.0).contains(&p), "P = {p} out of range for f={f}, l={l}");
+    }
+
+    /// Equ. 8 is symmetric in l ↔ f − l (swapping bm1 and bm2 cannot
+    /// matter).
+    #[test]
+    fn p_four_symmetric(f in 3u32..32, l in 1u32..31) {
+        prop_assume!(l < f);
+        prop_assert!((model::p_four(f, l) - model::p_four(f, f - l)).abs() < 1e-12);
+    }
+
+    /// The FPR bound grows monotonically in r, b and α, and shrinks in f.
+    #[test]
+    fn fpr_bound_monotone(
+        r in 0.0f64..1.0,
+        alpha in 0.05f64..1.0,
+        f in 6u32..24,
+    ) {
+        let base = model::fpr_upper_bound(r, 4, alpha, f);
+        prop_assert!(model::fpr_upper_bound((r + 0.1).min(1.0), 4, alpha, f) >= base);
+        prop_assert!(model::fpr_upper_bound(r, 5, alpha, f) >= base);
+        prop_assert!(model::fpr_upper_bound(r, 4, (alpha + 0.05).min(1.0), f) >= base);
+        prop_assert!(model::fpr_upper_bound(r, 4, alpha, f + 1) <= base);
+    }
+
+    /// The exact Equ. 10 form upper-bounds nothing below zero and stays a
+    /// probability.
+    #[test]
+    fn fpr_bound_is_probability(r in 0.0f64..1.0, alpha in 0.0f64..1.0, f in 2u32..32) {
+        let xi = model::fpr_upper_bound(r, 4, alpha, f);
+        prop_assert!((0.0..=1.0).contains(&xi));
+    }
+
+    /// Equ. 11's minimal fingerprint really achieves the target: plugging
+    /// it back into the approximate FPR lands at or below the target.
+    #[test]
+    fn min_bits_achieves_target(r in 0.0f64..1.0, alpha in 0.5f64..1.0, exponent in 2u32..12) {
+        let target = 2f64.powi(-(exponent as i32));
+        let f = model::min_fingerprint_bits(r, 4, alpha, target);
+        let achieved = model::fpr_approx(r, 4, alpha, f);
+        prop_assert!(
+            achieved <= target * 1.0001,
+            "f={f} gives {achieved}, target {target}"
+        );
+    }
+
+    /// Expected evictions (Equ. 13) are ≥ 1 (the displaced item itself)
+    /// and increase with load.
+    #[test]
+    fn evictions_monotone_in_alpha(r in 0.0f64..1.0, alpha in 0.05f64..0.94) {
+        let here = model::expected_evictions_at(alpha, r, 4);
+        let further = model::expected_evictions_at(alpha + 0.05, r, 4);
+        prop_assert!(here >= 1.0);
+        prop_assert!(further >= here);
+    }
+
+    /// More candidates (higher r) never increase the expected evictions.
+    #[test]
+    fn evictions_monotone_in_r(alpha in 0.1f64..0.99, r in 0.0f64..0.9) {
+        let fewer = model::expected_evictions_at(alpha, r, 4);
+        let more = model::expected_evictions_at(alpha, r + 0.1, 4);
+        prop_assert!(more <= fewer + 1e-12);
+    }
+
+    /// The integral form (Equ. 14) is bounded by the endpoint form
+    /// (Equ. 13): the running average cannot exceed the worst instant.
+    #[test]
+    fn avg_cost_below_endpoint_cost(alpha in 0.05f64..0.99, r in 0.0f64..1.0) {
+        let avg = model::avg_insert_cost(alpha, r, 4);
+        let endpoint = model::expected_evictions_at(alpha, r, 4);
+        prop_assert!(avg <= endpoint + 1e-9, "avg {avg} > endpoint {endpoint}");
+        prop_assert!(avg >= 1.0 - 1e-9);
+    }
+
+    /// Equ. 15 interpolates between E (all stored) and 500 (all failed).
+    #[test]
+    fn e0_is_interpolation(fraction in 0.0f64..1.0, cost in 1.0f64..20.0) {
+        let e0 = model::e0(fraction, cost);
+        prop_assert!(e0 >= cost.min(500.0) - 1e-9);
+        prop_assert!(e0 <= 500.0_f64.max(cost) + 1e-9);
+    }
+
+    /// Bloom FPR is a probability and monotone in items.
+    #[test]
+    fn bloom_fpr_sane(hashes in 1u32..16, items in 1usize..100_000, bits in 64usize..1_000_000) {
+        let xi = model::bloom_fpr(hashes, items, bits);
+        prop_assert!((0.0..=1.0).contains(&xi));
+        prop_assert!(model::bloom_fpr(hashes, items * 2, bits) >= xi);
+    }
+}

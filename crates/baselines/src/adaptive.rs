@@ -1,0 +1,414 @@
+//! The Adaptive Cuckoo Filter (Mitzenmacher, Pontarelli, Reviriego,
+//! ALENEX 2018) — reference [10] of the VCF paper.
+//!
+//! An ACF fronts a backing store that holds the true keys (its intended
+//! deployment: a flow table or cache index). Each slot carries a small
+//! *selector* choosing one of `2^s` fingerprint functions. When the
+//! system detects a false positive (the filter said yes, the backing
+//! store said no), the ACF **adapts**: it bumps the colliding slot's
+//! selector and recomputes that slot's fingerprint from the stored key,
+//! removing this false positive for all future queries of the same item.
+//!
+//! The filter proper stores `(fingerprint, selector)` per slot; the
+//! backing keys live alongside, exactly as in the original paper's model
+//! where the ACF indexes a key-carrying hash table.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use vcf_core::CuckooConfig;
+use vcf_hash::{mix64, HashKind};
+use vcf_traits::{BuildError, Counters, Filter, InsertError, Stats};
+
+/// Number of fingerprint functions selectable per slot (2 selector bits).
+pub const SELECTORS: u8 = 4;
+
+const SELECTOR_SALTS: [u64; SELECTORS as usize] = [
+    0x9e37_79b9_7f4a_7c15,
+    0xbf58_476d_1ce4_e5b9,
+    0x94d0_49bb_1331_11eb,
+    0xd6e8_feb8_6659_fd93,
+];
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct Slot {
+    fingerprint: u32,
+    selector: u8,
+    /// The backing-store key this slot indexes (the ACF deployment model
+    /// keeps keys in the fronted hash table; adaptation re-reads them).
+    key: Vec<u8>,
+}
+
+/// An Adaptive Cuckoo Filter: a two-candidate cuckoo filter whose false
+/// positives are *removable* at run time.
+///
+/// Use [`Filter::contains`] for the filter-only (approximate) answer, and
+/// [`AdaptiveCuckooFilter::contains_adaptive`] for the system-level
+/// answer that consults the backing keys and adapts away detected false
+/// positives.
+///
+/// # Examples
+///
+/// ```
+/// use vcf_baselines::AdaptiveCuckooFilter;
+/// use vcf_core::CuckooConfig;
+/// use vcf_traits::Filter;
+///
+/// let mut acf = AdaptiveCuckooFilter::new(CuckooConfig::new(1 << 8))?;
+/// acf.insert(b"flow-1")?;
+/// assert!(acf.contains(b"flow-1"));
+/// // The adaptive query is exact: it verifies against the backing keys.
+/// assert!(acf.contains_adaptive(b"flow-1"));
+/// assert!(!acf.contains_adaptive(b"never-inserted"));
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct AdaptiveCuckooFilter {
+    slots: Vec<Option<Slot>>,
+    buckets: usize,
+    slots_per_bucket: usize,
+    fingerprint_bits: u32,
+    hash: HashKind,
+    max_kicks: u32,
+    index_mask: u64,
+    rng: SmallRng,
+    adaptations: u64,
+    counters: Counters,
+}
+
+impl AdaptiveCuckooFilter {
+    /// Builds an empty ACF from `config` (bitmask fields unused).
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`BuildError`] for invalid geometry.
+    pub fn new(config: CuckooConfig) -> Result<Self, BuildError> {
+        config.validate()?;
+        Ok(Self {
+            slots: vec![None; config.buckets * config.slots_per_bucket],
+            buckets: config.buckets,
+            slots_per_bucket: config.slots_per_bucket,
+            fingerprint_bits: config.fingerprint_bits,
+            hash: config.hash,
+            max_kicks: config.max_kicks,
+            index_mask: config.buckets as u64 - 1,
+            rng: SmallRng::seed_from_u64(config.seed),
+            adaptations: 0,
+            counters: Counters::new(),
+        })
+    }
+
+    /// How many false positives have been adapted away so far.
+    pub fn adaptations(&self) -> u64 {
+        self.adaptations
+    }
+
+    /// Selector-dependent fingerprint of `item` (never zero).
+    fn fingerprint(&self, item: &[u8], selector: u8) -> u32 {
+        let h = self.hash.hash64(item);
+        let mixed = mix64(h ^ SELECTOR_SALTS[usize::from(selector) % SELECTOR_SALTS.len()]);
+        let mask = if self.fingerprint_bits == 32 {
+            u32::MAX
+        } else {
+            (1u32 << self.fingerprint_bits) - 1
+        };
+        let fp = (mixed as u32) & mask;
+        if fp == 0 {
+            1
+        } else {
+            fp
+        }
+    }
+
+    /// The two candidate buckets. Unlike partial-key hashing, the ACF can
+    /// hash the full key for both (the backing store always has it).
+    fn candidate_buckets(&self, item: &[u8]) -> [usize; 2] {
+        let h = self.hash.hash64(item);
+        let b1 = (h & self.index_mask) as usize;
+        let b2 = (mix64(h) & self.index_mask) as usize;
+        [b1, b2]
+    }
+
+    #[inline]
+    fn slot_index(&self, bucket: usize, slot: usize) -> usize {
+        bucket * self.slots_per_bucket + slot
+    }
+
+    fn bucket_slots(&self, bucket: usize) -> std::ops::Range<usize> {
+        let start = bucket * self.slots_per_bucket;
+        start..start + self.slots_per_bucket
+    }
+
+    /// System-level membership: consults the backing keys, adapting away
+    /// any false positive it detects. Exact (no false positives, no false
+    /// negatives) — this is what the fronted system observes end to end.
+    pub fn contains_adaptive(&mut self, item: &[u8]) -> bool {
+        let buckets = self.candidate_buckets(item);
+        let mut result = false;
+        for bucket in buckets {
+            for index in self.bucket_slots(bucket) {
+                let Some(slot) = self.slots[index].as_ref() else {
+                    continue;
+                };
+                if slot.fingerprint != self.fingerprint(item, slot.selector) {
+                    continue;
+                }
+                if slot.key == item {
+                    result = true;
+                    continue;
+                }
+                // Detected false positive: rotate the slot's fingerprint
+                // function and recompute from the *stored* key.
+                let new_selector = (slot.selector + 1) % SELECTORS;
+                let stored_key = slot.key.clone();
+                let new_fingerprint = self.fingerprint(&stored_key, new_selector);
+                let slot = self.slots[index].as_mut().expect("slot checked above");
+                slot.selector = new_selector;
+                slot.fingerprint = new_fingerprint;
+                self.adaptations += 1;
+            }
+        }
+        result
+    }
+
+    fn try_place(&mut self, bucket: usize, entry: &Slot) -> bool {
+        for index in self.bucket_slots(bucket) {
+            if self.slots[index].is_none() {
+                self.slots[index] = Some(entry.clone());
+                return true;
+            }
+        }
+        false
+    }
+}
+
+impl Filter for AdaptiveCuckooFilter {
+    fn insert(&mut self, item: &[u8]) -> Result<(), InsertError> {
+        self.counters.add_hashes(1);
+        let entry = Slot {
+            fingerprint: self.fingerprint(item, 0),
+            selector: 0,
+            key: item.to_vec(),
+        };
+        let buckets = self.candidate_buckets(item);
+        let mut probes = 0u64;
+        for bucket in buckets {
+            probes += self.slots_per_bucket as u64;
+            if self.try_place(bucket, &entry) {
+                self.counters.record_insert(probes, 2);
+                return Ok(());
+            }
+        }
+
+        // Cuckoo eviction: because the backing keys are available, the
+        // victim's buckets and fingerprint are recomputed from its key.
+        let mut current = entry;
+        let mut bucket = buckets[usize::from(self.rng.gen_bool(0.5))];
+        let mut kicks = 0u64;
+        let mut undo: Vec<(usize, Slot)> = Vec::new();
+        for _ in 0..self.max_kicks {
+            let slot = self.rng.gen_range(0..self.slots_per_bucket);
+            let index = self.slot_index(bucket, slot);
+            let victim = self.slots[index].replace(current).expect("bucket was full");
+            undo.push((index, victim.clone()));
+            kicks += 1;
+            self.counters.add_hashes(1);
+
+            let victim_buckets = self.candidate_buckets(&victim.key);
+            let alternate = if victim_buckets[0] == bucket {
+                victim_buckets[1]
+            } else {
+                victim_buckets[0]
+            };
+            probes += self.slots_per_bucket as u64;
+            if self.try_place(alternate, &victim) {
+                self.counters.add_kicks(kicks);
+                self.counters.record_insert(probes, 2 + kicks);
+                return Ok(());
+            }
+            current = victim;
+            bucket = alternate;
+        }
+
+        // Roll back: atomic failed insert, like the rest of the family.
+        for (index, previous) in undo.into_iter().rev() {
+            self.slots[index] = Some(previous);
+        }
+        self.counters.add_kicks(kicks);
+        self.counters.record_insert(probes, 2 + kicks);
+        self.counters.add_failed_insert();
+        Err(InsertError::Full { kicks })
+    }
+
+    /// Filter-only membership: fingerprint matching, possibly false
+    /// positive (until [`contains_adaptive`](Self::contains_adaptive)
+    /// adapts the collision away).
+    fn contains(&self, item: &[u8]) -> bool {
+        let mut probes = 0u64;
+        let mut found = false;
+        'outer: for bucket in self.candidate_buckets(item) {
+            for index in self.bucket_slots(bucket) {
+                probes += 1;
+                if let Some(slot) = self.slots[index].as_ref() {
+                    if slot.fingerprint == self.fingerprint(item, slot.selector) {
+                        found = true;
+                        break 'outer;
+                    }
+                }
+            }
+        }
+        self.counters.record_lookup(probes, 2);
+        found
+    }
+
+    fn delete(&mut self, item: &[u8]) -> bool {
+        let mut removed = false;
+        let mut probes = 0u64;
+        'outer: for bucket in self.candidate_buckets(item) {
+            for index in self.bucket_slots(bucket) {
+                probes += 1;
+                // Exact deletion: the backing key disambiguates.
+                if self.slots[index].as_ref().is_some_and(|s| s.key == item) {
+                    self.slots[index] = None;
+                    removed = true;
+                    break 'outer;
+                }
+            }
+        }
+        self.counters.record_delete(probes, 2);
+        removed
+    }
+
+    fn len(&self) -> usize {
+        self.slots.iter().filter(|s| s.is_some()).count()
+    }
+
+    fn capacity(&self) -> usize {
+        self.buckets * self.slots_per_bucket
+    }
+
+    fn stats(&self) -> Stats {
+        self.counters.snapshot()
+    }
+
+    fn reset_stats(&mut self) {
+        self.counters.reset();
+    }
+
+    fn name(&self) -> String {
+        "ACF".to_owned()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key(i: u64) -> Vec<u8> {
+        format!("acf-{i}").into_bytes()
+    }
+
+    fn loaded(n: u64) -> AdaptiveCuckooFilter {
+        let mut f = AdaptiveCuckooFilter::new(CuckooConfig::new(1 << 10).with_seed(3)).unwrap();
+        for i in 0..n {
+            f.insert(&key(i)).unwrap();
+        }
+        f
+    }
+
+    #[test]
+    fn roundtrip_and_exact_adaptive_queries() {
+        let mut f = loaded(1000);
+        for i in 0..1000 {
+            assert!(f.contains(&key(i)), "plain lookup lost {i}");
+            assert!(f.contains_adaptive(&key(i)), "adaptive lookup lost {i}");
+        }
+        // Adaptive queries are exact for negatives.
+        for i in 5000..6000 {
+            assert!(!f.contains_adaptive(&key(i)));
+        }
+    }
+
+    #[test]
+    fn adaptation_removes_repeated_false_positives() {
+        let mut f = loaded(3500); // ~85% of 4096 slots
+                                  // Find alien keys that currently false-positive.
+        let mut fp_keys = Vec::new();
+        for i in 100_000..400_000u64 {
+            if f.contains(&key(i)) {
+                fp_keys.push(key(i));
+                if fp_keys.len() >= 20 {
+                    break;
+                }
+            }
+        }
+        assert!(
+            !fp_keys.is_empty(),
+            "need some false positives to adapt away"
+        );
+        // One adaptive pass detects and repairs them...
+        for k in &fp_keys {
+            assert!(!f.contains_adaptive(k));
+        }
+        assert!(f.adaptations() > 0);
+        // ...after which the plain filter no longer false-positives on
+        // (almost all of) them. Adaptation can, rarely, create a new
+        // collision with a different key; allow a stray survivor.
+        let survivors = fp_keys.iter().filter(|k| f.contains(k)).count();
+        assert!(
+            survivors <= fp_keys.len() / 10,
+            "{survivors}/{} false positives survived adaptation",
+            fp_keys.len()
+        );
+    }
+
+    #[test]
+    fn adaptation_never_breaks_true_members() {
+        let mut f = loaded(3000);
+        // Hammer the filter with aliens to force many adaptations.
+        for i in 500_000..520_000u64 {
+            f.contains_adaptive(&key(i));
+        }
+        // Every genuine member must still be found by both query paths.
+        for i in 0..3000 {
+            assert!(f.contains(&key(i)), "adaptation broke member {i}");
+            assert!(f.contains_adaptive(&key(i)));
+        }
+    }
+
+    #[test]
+    fn delete_is_exact() {
+        let mut f = loaded(100);
+        assert!(f.delete(&key(5)));
+        assert!(!f.contains_adaptive(&key(5)));
+        assert!(!f.delete(&key(5)));
+        assert_eq!(f.len(), 99);
+    }
+
+    #[test]
+    fn failed_insert_rolls_back() {
+        let mut f = AdaptiveCuckooFilter::new(CuckooConfig::new(1 << 4).with_seed(1)).unwrap();
+        let mut stored = Vec::new();
+        for i in 0..200u64 {
+            if f.insert(&key(i)).is_ok() {
+                stored.push(i);
+            }
+        }
+        assert!(stored.len() < 200, "tiny table must overflow");
+        for i in stored {
+            assert!(f.contains_adaptive(&key(i)), "rollback lost member {i}");
+        }
+    }
+
+    #[test]
+    fn fingerprints_differ_across_selectors() {
+        let f = AdaptiveCuckooFilter::new(CuckooConfig::new(1 << 8)).unwrap();
+        let fps: Vec<u32> = (0..SELECTORS).map(|s| f.fingerprint(b"probe", s)).collect();
+        let mut unique = fps.clone();
+        unique.sort_unstable();
+        unique.dedup();
+        assert!(
+            unique.len() >= 3,
+            "selectors must yield distinct fingerprints: {fps:?}"
+        );
+    }
+}

@@ -1,0 +1,300 @@
+//! The classic Bloom filter (Bloom, 1970) — Table I's reference point.
+
+use vcf_hash::HashKind;
+use vcf_traits::{BuildError, Counters, Filter, InsertError, Stats};
+
+/// Geometry of a Bloom-family filter: `m` bits and `k` hash functions.
+///
+/// # Examples
+///
+/// ```
+/// use vcf_baselines::BloomConfig;
+///
+/// // Optimal geometry for one million items at 0.1 % false positives.
+/// let config = BloomConfig::for_items(1_000_000, 0.001);
+/// assert!(config.hashes >= 9 && config.hashes <= 11);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct BloomConfig {
+    /// Bit-array length `m`.
+    pub bits: usize,
+    /// Number of hash functions `k`.
+    pub hashes: u32,
+    /// Byte-hash function used to derive the `k` probe positions.
+    pub hash: HashKind,
+    /// Design capacity (used only for `capacity()` reporting).
+    pub capacity: usize,
+}
+
+impl BloomConfig {
+    /// Optimal geometry for `items` items at false-positive rate `fpr`:
+    /// `m = −n·ln(ξ)/ln(2)²`, `k = (m/n)·ln 2`.
+    pub fn for_items(items: usize, fpr: f64) -> Self {
+        let n = items.max(1) as f64;
+        let fpr = fpr.clamp(1e-12, 0.5);
+        let bits = (-n * fpr.ln() / (2f64.ln() * 2f64.ln())).ceil() as usize;
+        let hashes = ((bits as f64 / n) * 2f64.ln()).round().max(1.0) as u32;
+        Self {
+            bits: bits.max(64),
+            hashes,
+            hash: HashKind::Fnv1a,
+            capacity: items,
+        }
+    }
+
+    /// Explicit geometry.
+    pub fn new(bits: usize, hashes: u32) -> Self {
+        Self {
+            bits,
+            hashes,
+            hash: HashKind::Fnv1a,
+            capacity: bits / 10,
+        }
+    }
+
+    /// Sets the hash function.
+    #[must_use]
+    pub fn with_hash(mut self, hash: HashKind) -> Self {
+        self.hash = hash;
+        self
+    }
+}
+
+/// A standard Bloom filter: `k` bit positions per item via double hashing
+/// (Kirsch–Mitzenmacher `h1 + i·h2`), no deletion support.
+///
+/// # Examples
+///
+/// ```
+/// use vcf_baselines::{BloomConfig, BloomFilter};
+/// use vcf_traits::Filter;
+///
+/// let mut bf = BloomFilter::new(BloomConfig::for_items(1000, 0.01))?;
+/// bf.insert(b"alpha")?;
+/// assert!(bf.contains(b"alpha"));
+/// assert!(!bf.supports_deletion());
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct BloomFilter {
+    bits: Vec<u64>,
+    config: BloomConfig,
+    items: usize,
+    counters: Counters,
+}
+
+impl BloomFilter {
+    /// Builds an empty Bloom filter.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`BuildError`] when `bits` or `hashes` is zero.
+    pub fn new(config: BloomConfig) -> Result<Self, BuildError> {
+        if config.bits == 0 {
+            return Err(BuildError::InvalidConfig {
+                reason: "bit array must be non-empty".into(),
+            });
+        }
+        if config.hashes == 0 {
+            return Err(BuildError::InvalidConfig {
+                reason: "at least one hash function is required".into(),
+            });
+        }
+        Ok(Self {
+            bits: vec![0u64; config.bits.div_ceil(64)],
+            config,
+            items: 0,
+            counters: Counters::new(),
+        })
+    }
+
+    /// Bit-array length `m`.
+    pub fn bits(&self) -> usize {
+        self.config.bits
+    }
+
+    /// Number of hash functions `k`.
+    pub fn hashes(&self) -> u32 {
+        self.config.hashes
+    }
+
+    /// Fraction of bits currently set (the fill ratio behind the FPR).
+    pub fn fill_ratio(&self) -> f64 {
+        let set: u64 = self.bits.iter().map(|w| u64::from(w.count_ones())).sum();
+        set as f64 / self.config.bits as f64
+    }
+
+    /// The two base hashes for double hashing; `h2` is forced odd so the
+    /// probe sequence covers the array.
+    #[inline]
+    fn base_hashes(&self, item: &[u8]) -> (u64, u64) {
+        let h = self.config.hash.hash64(item);
+        let h2 = vcf_hash::mix64(h) | 1;
+        (h, h2)
+    }
+
+    #[inline]
+    fn position(&self, h1: u64, h2: u64, i: u32) -> usize {
+        (h1.wrapping_add(h2.wrapping_mul(u64::from(i))) % self.config.bits as u64) as usize
+    }
+
+    #[inline]
+    fn set_bit(&mut self, pos: usize) {
+        self.bits[pos / 64] |= 1u64 << (pos % 64);
+    }
+
+    #[inline]
+    fn get_bit(&self, pos: usize) -> bool {
+        self.bits[pos / 64] >> (pos % 64) & 1 == 1
+    }
+}
+
+impl Filter for BloomFilter {
+    fn insert(&mut self, item: &[u8]) -> Result<(), InsertError> {
+        let (h1, h2) = self.base_hashes(item);
+        self.counters.add_hashes(1);
+        for i in 0..self.config.hashes {
+            let pos = self.position(h1, h2, i);
+            self.set_bit(pos);
+        }
+        self.counters
+            .record_insert(u64::from(self.config.hashes), 0);
+        self.items += 1;
+        Ok(())
+    }
+
+    fn contains(&self, item: &[u8]) -> bool {
+        let (h1, h2) = self.base_hashes(item);
+        let mut probes = 0u64;
+        let mut all_set = true;
+        for i in 0..self.config.hashes {
+            probes += 1;
+            if !self.get_bit(self.position(h1, h2, i)) {
+                all_set = false;
+                break;
+            }
+        }
+        self.counters.record_lookup(probes, 0);
+        all_set
+    }
+
+    /// Bloom filters cannot delete; always returns `false`.
+    fn delete(&mut self, _item: &[u8]) -> bool {
+        self.counters.record_delete(0, 0);
+        false
+    }
+
+    fn len(&self) -> usize {
+        self.items
+    }
+
+    fn capacity(&self) -> usize {
+        self.config.capacity
+    }
+
+    fn supports_deletion(&self) -> bool {
+        false
+    }
+
+    fn stats(&self) -> Stats {
+        self.counters.snapshot()
+    }
+
+    fn reset_stats(&mut self) {
+        self.counters.reset();
+    }
+
+    fn name(&self) -> String {
+        "BF".to_owned()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key(i: u64) -> Vec<u8> {
+        format!("bf-{i}").into_bytes()
+    }
+
+    #[test]
+    fn no_false_negatives() {
+        let mut bf = BloomFilter::new(BloomConfig::for_items(10_000, 0.01)).unwrap();
+        for i in 0..10_000 {
+            bf.insert(&key(i)).unwrap();
+        }
+        for i in 0..10_000 {
+            assert!(bf.contains(&key(i)), "item {i} lost");
+        }
+    }
+
+    #[test]
+    fn fpr_near_design_point() {
+        let mut bf = BloomFilter::new(BloomConfig::for_items(20_000, 0.01)).unwrap();
+        for i in 0..20_000 {
+            bf.insert(&key(i)).unwrap();
+        }
+        let mut fp = 0u64;
+        let aliens = 50_000u64;
+        for i in 0..aliens {
+            if bf.contains(&key(1_000_000 + i)) {
+                fp += 1;
+            }
+        }
+        let fpr = fp as f64 / aliens as f64;
+        assert!(fpr < 0.03, "fpr={fpr} should be near 1%");
+        assert!(fpr > 0.001, "fpr={fpr} suspiciously low — geometry wrong?");
+    }
+
+    #[test]
+    fn fill_ratio_near_half_at_design_load() {
+        let mut bf = BloomFilter::new(BloomConfig::for_items(5_000, 0.01)).unwrap();
+        for i in 0..5_000 {
+            bf.insert(&key(i)).unwrap();
+        }
+        let fill = bf.fill_ratio();
+        assert!(
+            (fill - 0.5).abs() < 0.05,
+            "optimal BF fills to ~50%: {fill}"
+        );
+    }
+
+    #[test]
+    fn delete_is_refused() {
+        let mut bf = BloomFilter::new(BloomConfig::new(1024, 4)).unwrap();
+        bf.insert(b"x").unwrap();
+        assert!(!bf.delete(b"x"));
+        assert!(bf.contains(b"x"), "refused delete must not mutate");
+    }
+
+    #[test]
+    fn rejects_zero_geometry() {
+        assert!(BloomFilter::new(BloomConfig::new(0, 4)).is_err());
+        assert!(BloomFilter::new(BloomConfig::new(64, 0)).is_err());
+    }
+
+    #[test]
+    fn for_items_geometry_sane() {
+        let c = BloomConfig::for_items(1_000_000, 0.001);
+        // ~14.4 bits/item at 0.1%.
+        let bits_per_item = c.bits as f64 / 1e6;
+        assert!(
+            (bits_per_item - 14.4).abs() < 0.5,
+            "bits/item={bits_per_item}"
+        );
+    }
+
+    #[test]
+    fn works_with_all_hash_kinds() {
+        for kind in HashKind::ALL {
+            let mut bf =
+                BloomFilter::new(BloomConfig::for_items(1000, 0.01).with_hash(kind)).unwrap();
+            for i in 0..1000 {
+                bf.insert(&key(i)).unwrap();
+            }
+            for i in 0..1000 {
+                assert!(bf.contains(&key(i)), "{kind}: item {i} lost");
+            }
+        }
+    }
+}

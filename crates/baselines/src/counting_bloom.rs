@@ -1,0 +1,244 @@
+//! The Counting Bloom filter (Fan et al., SIGCOMM 1998) — Bloom with
+//! 4-bit counters, the classic deletable variant (Table I row 2).
+
+use crate::bloom::BloomConfig;
+use vcf_table::PackedTable;
+use vcf_traits::{BuildError, Counters, Filter, InsertError, Stats};
+
+/// Counter width in bits; 4 is the standard choice (overflow probability
+/// is negligible at design load, and the paper's Table I charges CBF
+/// exactly `4×` the space of BF for it).
+pub const COUNTER_BITS: u32 = 4;
+
+/// A Counting Bloom filter: each of the `m` positions holds a 4-bit
+/// counter instead of a single bit, so deletion decrements instead of
+/// clearing.
+///
+/// Counters that reach 15 become *sticky* (never incremented past, never
+/// decremented): this is the standard safeguard against the false
+/// negatives that counter overflow would otherwise cause.
+///
+/// # Examples
+///
+/// ```
+/// use vcf_baselines::{BloomConfig, CountingBloomFilter};
+/// use vcf_traits::Filter;
+///
+/// let mut cbf = CountingBloomFilter::new(BloomConfig::for_items(1000, 0.01))?;
+/// cbf.insert(b"session-9")?;
+/// assert!(cbf.contains(b"session-9"));
+/// assert!(cbf.delete(b"session-9"));
+/// assert!(!cbf.contains(b"session-9"));
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct CountingBloomFilter {
+    counters_table: PackedTable,
+    config: BloomConfig,
+    items: usize,
+    sticky: u64,
+    counters: Counters,
+}
+
+impl CountingBloomFilter {
+    /// Builds an empty CBF with `config.bits` counters.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`BuildError`] when the geometry is degenerate.
+    pub fn new(config: BloomConfig) -> Result<Self, BuildError> {
+        if config.hashes == 0 {
+            return Err(BuildError::InvalidConfig {
+                reason: "at least one hash function is required".into(),
+            });
+        }
+        let counters_table = PackedTable::new(config.bits.max(1), COUNTER_BITS)?;
+        Ok(Self {
+            counters_table,
+            config,
+            items: 0,
+            sticky: 0,
+            counters: Counters::new(),
+        })
+    }
+
+    /// Number of counters (the BF's `m`).
+    pub fn positions(&self) -> usize {
+        self.counters_table.len()
+    }
+
+    /// Number of counters stuck at the 15 ceiling so far.
+    pub fn sticky_counters(&self) -> u64 {
+        self.sticky
+    }
+
+    #[inline]
+    fn base_hashes(&self, item: &[u8]) -> (u64, u64) {
+        let h = self.config.hash.hash64(item);
+        (h, vcf_hash::mix64(h) | 1)
+    }
+
+    #[inline]
+    fn position(&self, h1: u64, h2: u64, i: u32) -> usize {
+        (h1.wrapping_add(h2.wrapping_mul(u64::from(i))) % self.positions() as u64) as usize
+    }
+
+    const MAX: u64 = (1 << COUNTER_BITS) - 1;
+}
+
+impl Filter for CountingBloomFilter {
+    fn insert(&mut self, item: &[u8]) -> Result<(), InsertError> {
+        let (h1, h2) = self.base_hashes(item);
+        self.counters.add_hashes(1);
+        for i in 0..self.config.hashes {
+            let pos = self.position(h1, h2, i);
+            let value = self.counters_table.get(pos);
+            if value < Self::MAX {
+                self.counters_table.set(pos, value + 1);
+                if value + 1 == Self::MAX {
+                    self.sticky += 1;
+                }
+            }
+        }
+        self.counters
+            .record_insert(u64::from(self.config.hashes), 0);
+        self.items += 1;
+        Ok(())
+    }
+
+    fn contains(&self, item: &[u8]) -> bool {
+        let (h1, h2) = self.base_hashes(item);
+        let mut probes = 0u64;
+        let mut all_set = true;
+        for i in 0..self.config.hashes {
+            probes += 1;
+            if self.counters_table.get(self.position(h1, h2, i)) == 0 {
+                all_set = false;
+                break;
+            }
+        }
+        self.counters.record_lookup(probes, 0);
+        all_set
+    }
+
+    fn delete(&mut self, item: &[u8]) -> bool {
+        // Deleting an item that is not (apparently) present would corrupt
+        // other items' counters; CBF semantics require a membership check.
+        if !self.contains(item) {
+            self.counters.record_delete(0, 0);
+            return false;
+        }
+        let (h1, h2) = self.base_hashes(item);
+        for i in 0..self.config.hashes {
+            let pos = self.position(h1, h2, i);
+            let value = self.counters_table.get(pos);
+            // Sticky ceiling: a counter at MAX may underestimate its true
+            // count, so it must never be decremented.
+            if value > 0 && value < Self::MAX {
+                self.counters_table.set(pos, value - 1);
+            }
+        }
+        self.counters
+            .record_delete(u64::from(self.config.hashes), 0);
+        self.items = self.items.saturating_sub(1);
+        true
+    }
+
+    fn len(&self) -> usize {
+        self.items
+    }
+
+    fn capacity(&self) -> usize {
+        self.config.capacity
+    }
+
+    fn stats(&self) -> Stats {
+        self.counters.snapshot()
+    }
+
+    fn reset_stats(&mut self) {
+        self.counters.reset();
+    }
+
+    fn name(&self) -> String {
+        "CBF".to_owned()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key(i: u64) -> Vec<u8> {
+        format!("cbf-{i}").into_bytes()
+    }
+
+    #[test]
+    fn insert_delete_roundtrip() {
+        let mut cbf = CountingBloomFilter::new(BloomConfig::for_items(1000, 0.01)).unwrap();
+        cbf.insert(b"a").unwrap();
+        assert!(cbf.contains(b"a"));
+        assert!(cbf.delete(b"a"));
+        assert!(!cbf.contains(b"a"));
+        assert!(!cbf.delete(b"a"));
+    }
+
+    #[test]
+    fn no_false_negatives_under_churn() {
+        let mut cbf = CountingBloomFilter::new(BloomConfig::for_items(5_000, 0.01)).unwrap();
+        for i in 0..5_000 {
+            cbf.insert(&key(i)).unwrap();
+        }
+        for i in 0..2_500 {
+            assert!(cbf.delete(&key(i)));
+        }
+        for i in 2_500..5_000 {
+            assert!(
+                cbf.contains(&key(i)),
+                "item {i} lost after unrelated deletes"
+            );
+        }
+    }
+
+    #[test]
+    fn duplicate_copies_tracked() {
+        let mut cbf = CountingBloomFilter::new(BloomConfig::for_items(100, 0.01)).unwrap();
+        cbf.insert(b"dup").unwrap();
+        cbf.insert(b"dup").unwrap();
+        assert!(cbf.delete(b"dup"));
+        assert!(cbf.contains(b"dup"), "second copy must survive");
+    }
+
+    #[test]
+    fn sticky_counters_never_underflow() {
+        let mut cbf = CountingBloomFilter::new(BloomConfig::new(8, 1)).unwrap();
+        // Slam one position past the ceiling.
+        for _ in 0..40 {
+            cbf.insert(b"hot").unwrap();
+        }
+        assert!(cbf.sticky_counters() > 0);
+        // Deleting 40 times cannot produce a false negative for a
+        // different item that shares the sticky counter.
+        for _ in 0..40 {
+            cbf.delete(b"hot");
+        }
+        assert!(cbf.contains(b"hot"), "sticky counter must stay sticky");
+    }
+
+    #[test]
+    fn len_tracks_net_insertions() {
+        let mut cbf = CountingBloomFilter::new(BloomConfig::for_items(100, 0.01)).unwrap();
+        cbf.insert(b"x").unwrap();
+        cbf.insert(b"y").unwrap();
+        assert_eq!(cbf.len(), 2);
+        cbf.delete(b"x");
+        assert_eq!(cbf.len(), 1);
+    }
+
+    #[test]
+    fn rejects_zero_hashes() {
+        let mut c = BloomConfig::new(64, 1);
+        c.hashes = 0;
+        assert!(CountingBloomFilter::new(c).is_err());
+    }
+}

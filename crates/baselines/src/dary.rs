@@ -1,0 +1,389 @@
+//! The D-ary Cuckoo filter (Xie et al., ICPADS 2017) — the paper's DCF
+//! baseline.
+
+use crate::base_d::{add_mod_mixed, radices_for};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use vcf_core::CuckooConfig;
+use vcf_hash::HashKind;
+use vcf_table::FingerprintTable;
+use vcf_traits::{BuildError, Counters, Filter, InsertError, Stats};
+
+/// The D-ary Cuckoo filter: `d` candidate buckets linked by base-`d`
+/// digit-wise modular addition (Equ. 2).
+///
+/// Candidate `j` of an item with primary bucket `B1` and fingerprint-hash
+/// offset `H` is `B1 ⊕_d j·H` (digit-wise, mod `d`), and applying the
+/// offset `d` times cycles back — so, like VCF, a stored fingerprint can be
+/// relocated without the original key. Unlike VCF, **every** candidate
+/// derivation pays two base conversions (binary → base-d → binary), which
+/// is exactly the insertion/lookup overhead the paper measures in
+/// Table III and Figs. 6–7.
+///
+/// The bucket count must decompose into base-`d` digits with at most one
+/// leading digit of a radix dividing `d` (for `d = 4`: any power of two).
+///
+/// # Examples
+///
+/// ```
+/// use vcf_baselines::DaryCuckooFilter;
+/// use vcf_core::CuckooConfig;
+/// use vcf_traits::Filter;
+///
+/// // 4^5 buckets, d = 4 (the paper fixes d = 4 for DCF).
+/// let mut dcf = DaryCuckooFilter::new(CuckooConfig::new(1024), 4)?;
+/// dcf.insert(b"flow:10.0.0.1")?;
+/// assert!(dcf.contains(b"flow:10.0.0.1"));
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct DaryCuckooFilter {
+    table: FingerprintTable,
+    hash: HashKind,
+    d: usize,
+    radices: Vec<usize>,
+    max_kicks: u32,
+    rng: SmallRng,
+    /// Undo log for the current eviction walk, replayed in reverse when
+    /// the kick limit is reached so failed insertions leave no trace.
+    undo: Vec<(usize, usize, u32)>,
+    counters: Counters,
+}
+
+impl DaryCuckooFilter {
+    /// Builds a DCF with `d` candidate buckets.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`BuildError`] when `d < 2`, geometry is invalid, or the
+    /// bucket count does not decompose into `d`-compatible digit radices
+    /// (see [`radices_for`]).
+    pub fn new(config: CuckooConfig, d: usize) -> Result<Self, BuildError> {
+        if d < 2 {
+            return Err(BuildError::InvalidConfig {
+                reason: format!("DCF needs d >= 2 candidate buckets, got {d}"),
+            });
+        }
+        if config.slots_per_bucket == 0 || config.slots_per_bucket > vcf_table::MAX_BUCKET_SLOTS {
+            return Err(BuildError::InvalidBucketSize {
+                got: config.slots_per_bucket,
+            });
+        }
+        let radices = radices_for(config.buckets, d).ok_or(BuildError::InvalidBucketCount {
+            got: config.buckets,
+            requirement: "a product of radices dividing d (any power of two for d = 4)",
+        })?;
+        let table = FingerprintTable::new(
+            config.buckets,
+            config.slots_per_bucket,
+            config.fingerprint_bits,
+        )?;
+        Ok(Self {
+            table,
+            hash: config.hash,
+            d,
+            radices,
+            max_kicks: config.max_kicks,
+            rng: SmallRng::seed_from_u64(config.seed),
+            undo: Vec::new(),
+            counters: Counters::new(),
+        })
+    }
+
+    /// The number of candidate buckets `d`.
+    pub fn d(&self) -> usize {
+        self.d
+    }
+
+    /// Occupancy of the slot table only — `α` as the paper measures it.
+    pub fn table_load_factor(&self) -> f64 {
+        self.table.load_factor()
+    }
+
+    #[inline]
+    fn key_of(&self, item: &[u8]) -> (u32, usize) {
+        let h = self.hash.hash64(item);
+        let fp_bits = self.table.fingerprint_bits();
+        let fp_mask = if fp_bits == 32 {
+            u32::MAX
+        } else {
+            (1u32 << fp_bits) - 1
+        };
+        let mut fp = ((h >> 32) as u32) & fp_mask;
+        if fp == 0 {
+            fp = 1;
+        }
+        (fp, (h as usize) % self.table.buckets())
+    }
+
+    /// The base-`d` offset `H` derived from a fingerprint.
+    #[inline]
+    fn offset_of(&self, fingerprint: u32) -> usize {
+        (self.hash.hash_fingerprint(fingerprint) as usize) % self.table.buckets()
+    }
+
+    /// All `d` candidate buckets, walking the ⊕_d cycle from `b1`.
+    fn candidates(&self, b1: usize, offset: usize) -> Vec<usize> {
+        let mut buckets = Vec::with_capacity(self.d);
+        let mut current = b1;
+        for _ in 0..self.d {
+            buckets.push(current);
+            current = add_mod_mixed(current, offset, &self.radices);
+        }
+        buckets
+    }
+}
+
+impl Filter for DaryCuckooFilter {
+    fn insert(&mut self, item: &[u8]) -> Result<(), InsertError> {
+        let (fingerprint, b1) = self.key_of(item);
+        self.counters.add_hashes(2);
+        let offset = self.offset_of(fingerprint);
+        let cands = self.candidates(b1, offset);
+        let slots = self.table.slots_per_bucket();
+
+        let mut probes = 0u64;
+        for &bucket in &cands {
+            probes += slots as u64;
+            if self.table.try_insert(bucket, fingerprint).is_some() {
+                self.counters.record_insert(probes, self.d as u64);
+                return Ok(());
+            }
+        }
+
+        self.undo.clear();
+        let mut current_fp = fingerprint;
+        let mut current_bucket = cands[self.rng.gen_range(0..self.d)];
+        let mut kicks = 0u64;
+        let mut bucket_accesses = self.d as u64;
+        for _ in 0..self.max_kicks {
+            let slot = self.rng.gen_range(0..slots);
+            let victim = self.table.swap(current_bucket, slot, current_fp);
+            self.undo.push((current_bucket, slot, victim));
+            current_fp = victim;
+            kicks += 1;
+
+            self.counters.add_hashes(1);
+            let victim_offset = self.offset_of(current_fp);
+            // Walk the victim's cycle: d − 1 alternates.
+            let mut next = current_bucket;
+            let mut placed = false;
+            let mut walk = Vec::with_capacity(self.d - 1);
+            for _ in 0..self.d - 1 {
+                next = add_mod_mixed(next, victim_offset, &self.radices);
+                walk.push(next);
+                probes += slots as u64;
+                bucket_accesses += 1;
+                if self.table.try_insert(next, current_fp).is_some() {
+                    placed = true;
+                    break;
+                }
+            }
+            if placed {
+                self.counters.add_kicks(kicks);
+                self.counters.record_insert(probes, bucket_accesses);
+                return Ok(());
+            }
+            current_bucket = walk[self.rng.gen_range(0..walk.len())];
+        }
+
+        for &(bucket, slot, previous) in self.undo.iter().rev() {
+            self.table.set(bucket, slot, previous);
+        }
+        self.undo.clear();
+        self.counters.add_kicks(kicks);
+        self.counters.record_insert(probes, bucket_accesses);
+        self.counters.add_failed_insert();
+        Err(InsertError::Full { kicks })
+    }
+
+    fn contains(&self, item: &[u8]) -> bool {
+        let (fingerprint, b1) = self.key_of(item);
+        let offset = self.offset_of(fingerprint);
+        let cands = self.candidates(b1, offset);
+        let mut probes = 0u64;
+        let mut found = false;
+        for &bucket in &cands {
+            probes += self.table.slots_per_bucket() as u64;
+            if self.table.contains(bucket, fingerprint) {
+                found = true;
+                break;
+            }
+        }
+        self.counters.record_lookup(probes, self.d as u64);
+        found
+    }
+
+    fn delete(&mut self, item: &[u8]) -> bool {
+        let (fingerprint, b1) = self.key_of(item);
+        let offset = self.offset_of(fingerprint);
+        let cands = self.candidates(b1, offset);
+        let mut probes = 0u64;
+        let mut removed = false;
+        let mut tried: Vec<usize> = Vec::with_capacity(self.d);
+        for &bucket in &cands {
+            if tried.contains(&bucket) {
+                continue;
+            }
+            tried.push(bucket);
+            probes += self.table.slots_per_bucket() as u64;
+            if self.table.remove_one(bucket, fingerprint) {
+                removed = true;
+                break;
+            }
+        }
+        self.counters.record_delete(probes, tried.len() as u64);
+        removed
+    }
+
+    fn len(&self) -> usize {
+        self.table.occupied()
+    }
+
+    fn capacity(&self) -> usize {
+        self.table.capacity()
+    }
+
+    fn stats(&self) -> Stats {
+        self.counters.snapshot()
+    }
+
+    fn reset_stats(&mut self) {
+        self.counters.reset();
+    }
+
+    fn name(&self) -> String {
+        "DCF".to_owned()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn config() -> CuckooConfig {
+        CuckooConfig::new(1 << 10).with_seed(5) // 4^5 buckets
+    }
+
+    fn key(i: u64) -> Vec<u8> {
+        format!("dcf-{i}").into_bytes()
+    }
+
+    #[test]
+    fn accepts_all_pow2_sizes_for_d4() {
+        assert!(DaryCuckooFilter::new(CuckooConfig::new(1 << 10), 4).is_ok());
+        // 2^11 = 2 · 4^5: a mixed-radix table.
+        assert!(DaryCuckooFilter::new(CuckooConfig::new(1 << 11), 4).is_ok());
+        assert!(DaryCuckooFilter::new(CuckooConfig::new(1 << 10), 1).is_err());
+        assert!(DaryCuckooFilter::new(CuckooConfig::new(243), 3).is_ok());
+        // 243 = 3^5 is not expressible for d = 4 — but power-of-two
+        // validation in CuckooConfig rejects it first.
+        assert!(DaryCuckooFilter::new(CuckooConfig::new(243), 4).is_err());
+    }
+
+    #[test]
+    fn mixed_radix_table_roundtrips() {
+        // Odd exponent: 2^9 buckets = 2 · 4^4.
+        let mut dcf = DaryCuckooFilter::new(CuckooConfig::new(1 << 9).with_seed(9), 4).unwrap();
+        for i in 0..1500 {
+            dcf.insert(&key(i)).unwrap();
+        }
+        for i in 0..1500 {
+            assert!(dcf.contains(&key(i)), "item {i} lost in mixed-radix table");
+        }
+        for i in 0..1500 {
+            assert!(dcf.delete(&key(i)));
+        }
+        assert_eq!(dcf.len(), 0);
+    }
+
+    #[test]
+    fn candidate_cycle_is_closed() {
+        let dcf = DaryCuckooFilter::new(config(), 4).unwrap();
+        for fp in [1u32, 99, 4000] {
+            let offset = dcf.offset_of(fp);
+            for start in [0usize, 17, 512] {
+                let cands = dcf.candidates(start, offset);
+                assert_eq!(cands.len(), 4);
+                // Walking once more returns to the start.
+                let back = add_mod_mixed(cands[3], offset, &dcf.radices);
+                assert_eq!(back, start);
+                // The cycle is the same set from any member.
+                for &c in &cands {
+                    let mut other = dcf.candidates(c, offset);
+                    other.sort_unstable();
+                    let mut expect = cands.clone();
+                    expect.sort_unstable();
+                    assert_eq!(other, expect);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn roundtrip_and_no_false_negatives() {
+        let mut dcf = DaryCuckooFilter::new(config(), 4).unwrap();
+        for i in 0..3000 {
+            dcf.insert(&key(i)).unwrap();
+        }
+        for i in 0..3000 {
+            assert!(dcf.contains(&key(i)), "item {i} lost");
+        }
+        for i in 0..1000 {
+            assert!(dcf.delete(&key(i)));
+        }
+        for i in 1000..3000 {
+            assert!(dcf.contains(&key(i)), "item {i} vanished after deletes");
+        }
+    }
+
+    #[test]
+    fn fills_very_high_like_paper() {
+        // Table III: DCF reaches 99.94 % load.
+        let mut dcf = DaryCuckooFilter::new(config(), 4).unwrap();
+        let mut stored = 0u64;
+        for i in 0..dcf.capacity() as u64 {
+            if dcf.insert(&key(i)).is_ok() {
+                stored += 1;
+            }
+        }
+        let alpha = stored as f64 / dcf.capacity() as f64;
+        assert!(alpha > 0.97, "DCF load factor {alpha}");
+    }
+
+    #[test]
+    fn no_false_negatives_after_overflow() {
+        let mut dcf = DaryCuckooFilter::new(CuckooConfig::new(64).with_seed(1), 4).unwrap();
+        let mut acknowledged = Vec::new();
+        for i in 0..(dcf.capacity() as u64 + 40) {
+            if dcf.insert(&key(i)).is_ok() {
+                acknowledged.push(i);
+            }
+        }
+        for i in acknowledged {
+            assert!(dcf.contains(&key(i)), "acknowledged {i} lost");
+        }
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let run = || {
+            let mut dcf = DaryCuckooFilter::new(config(), 4).unwrap();
+            let mut stored = 0u32;
+            for i in 0..4500 {
+                if dcf.insert(&key(i)).is_ok() {
+                    stored += 1;
+                }
+            }
+            (stored, dcf.stats().kicks)
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn d_accessor_and_name() {
+        let dcf = DaryCuckooFilter::new(config(), 4).unwrap();
+        assert_eq!(dcf.d(), 4);
+        assert_eq!(dcf.name(), "DCF");
+    }
+}

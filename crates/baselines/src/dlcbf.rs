@@ -1,0 +1,348 @@
+//! The d-left Counting Bloom filter (Bonomi et al., ESA 2006).
+//!
+//! dlCBF replaces CBF's flat counter array with `d` subtables of buckets
+//! holding (fingerprint, counter) cells; insertion places the fingerprint
+//! into the least-loaded candidate bucket, breaking ties to the left.
+//! The paper cites it (Section II-A) as achieving half the space of CBF
+//! at equal false-positive rate; it completes the Table I comparison.
+
+use vcf_hash::HashKind;
+use vcf_traits::{BuildError, Counters, Filter, InsertError, Stats};
+
+/// Geometry of a [`DlCountingBloomFilter`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct DlCbfConfig {
+    /// Number of subtables `d` (4 in the original construction).
+    pub subtables: usize,
+    /// Buckets per subtable.
+    pub buckets_per_subtable: usize,
+    /// Cells per bucket (8 in the original construction).
+    pub cells_per_bucket: usize,
+    /// Fingerprint ("remainder") width in bits.
+    pub fingerprint_bits: u32,
+    /// Byte-hash function.
+    pub hash: HashKind,
+}
+
+impl DlCbfConfig {
+    /// The original paper's shape: 4 subtables, 8 cells per bucket,
+    /// sized for `items` items at ~75 % target load.
+    pub fn for_items(items: usize) -> Self {
+        let cells_needed = (items as f64 / 0.75).ceil() as usize;
+        let buckets_total = cells_needed.div_ceil(8).max(4);
+        Self {
+            subtables: 4,
+            buckets_per_subtable: buckets_total.div_ceil(4).next_power_of_two(),
+            cells_per_bucket: 8,
+            fingerprint_bits: 14,
+            hash: HashKind::Fnv1a,
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+struct Cell {
+    fingerprint: u32,
+    count: u8,
+}
+
+/// A d-left Counting Bloom filter: `d` subtables, least-loaded placement
+/// with left tie-breaking, per-cell counters for multiset semantics.
+///
+/// # Examples
+///
+/// ```
+/// use vcf_baselines::{DlCbfConfig, DlCountingBloomFilter};
+/// use vcf_traits::Filter;
+///
+/// let mut dlcbf = DlCountingBloomFilter::new(DlCbfConfig::for_items(1000))?;
+/// dlcbf.insert(b"conn:443")?;
+/// assert!(dlcbf.contains(b"conn:443"));
+/// assert!(dlcbf.delete(b"conn:443"));
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct DlCountingBloomFilter {
+    cells: Vec<Cell>,
+    config: DlCbfConfig,
+    items: usize,
+    counters: Counters,
+}
+
+impl DlCountingBloomFilter {
+    /// Builds an empty dlCBF.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`BuildError`] for degenerate geometry.
+    pub fn new(config: DlCbfConfig) -> Result<Self, BuildError> {
+        if config.subtables == 0 {
+            return Err(BuildError::InvalidConfig {
+                reason: "need at least 1 subtable".into(),
+            });
+        }
+        if config.buckets_per_subtable == 0 {
+            return Err(BuildError::InvalidBucketCount {
+                got: 0,
+                requirement: "positive",
+            });
+        }
+        if config.cells_per_bucket == 0 || config.cells_per_bucket > 16 {
+            return Err(BuildError::InvalidBucketSize {
+                got: config.cells_per_bucket,
+            });
+        }
+        if !(2..=32).contains(&config.fingerprint_bits) {
+            return Err(BuildError::InvalidFingerprintBits {
+                got: config.fingerprint_bits,
+                min: 2,
+                max: 32,
+            });
+        }
+        let total = config.subtables * config.buckets_per_subtable * config.cells_per_bucket;
+        Ok(Self {
+            cells: vec![Cell::default(); total],
+            config,
+            items: 0,
+            counters: Counters::new(),
+        })
+    }
+
+    /// Total cell capacity.
+    pub fn cells(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// `(fingerprint, candidate bucket in each subtable)`.
+    fn key_of(&self, item: &[u8]) -> (u32, Vec<usize>) {
+        let h = self.config.hash.hash64(item);
+        let fp_mask = if self.config.fingerprint_bits == 32 {
+            u32::MAX
+        } else {
+            (1u32 << self.config.fingerprint_bits) - 1
+        };
+        let mut fp = ((h >> 32) as u32) & fp_mask;
+        if fp == 0 {
+            fp = 1;
+        }
+        // One candidate bucket per subtable, derived by remixing; this is
+        // the "d independent choices" of d-left hashing.
+        let buckets = (0..self.config.subtables)
+            .map(|t| {
+                let ht = vcf_hash::mix64(h ^ (t as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15));
+                (ht % self.config.buckets_per_subtable as u64) as usize
+            })
+            .collect();
+        (fp, buckets)
+    }
+
+    #[inline]
+    fn bucket_range(&self, subtable: usize, bucket: usize) -> std::ops::Range<usize> {
+        let start =
+            (subtable * self.config.buckets_per_subtable + bucket) * self.config.cells_per_bucket;
+        start..start + self.config.cells_per_bucket
+    }
+
+    fn bucket_load(&self, subtable: usize, bucket: usize) -> usize {
+        self.cells[self.bucket_range(subtable, bucket)]
+            .iter()
+            .filter(|c| c.count > 0)
+            .count()
+    }
+}
+
+impl Filter for DlCountingBloomFilter {
+    fn insert(&mut self, item: &[u8]) -> Result<(), InsertError> {
+        let (fp, buckets) = self.key_of(item);
+        self.counters.add_hashes(1 + self.config.subtables as u64);
+        let mut probes = 0u64;
+
+        // If any candidate bucket already holds this fingerprint, bump its
+        // counter (multiset semantics).
+        for (t, &b) in buckets.iter().enumerate() {
+            let range = self.bucket_range(t, b);
+            probes += self.config.cells_per_bucket as u64;
+            for i in range {
+                if self.cells[i].count > 0 && self.cells[i].fingerprint == fp {
+                    if self.cells[i].count == u8::MAX {
+                        self.counters.record_insert(probes, buckets.len() as u64);
+                        return Err(InsertError::CounterOverflow);
+                    }
+                    self.cells[i].count += 1;
+                    self.items += 1;
+                    self.counters.record_insert(probes, buckets.len() as u64);
+                    return Ok(());
+                }
+            }
+        }
+
+        // d-left placement: least-loaded candidate, leftmost subtable wins
+        // ties.
+        let (best_t, best_b) = buckets
+            .iter()
+            .enumerate()
+            .map(|(t, &b)| (self.bucket_load(t, b), t, b))
+            .min_by_key(|&(load, t, _)| (load, t))
+            .map(|(_, t, b)| (t, b))
+            .expect("at least one subtable");
+        let range = self.bucket_range(best_t, best_b);
+        for i in range {
+            probes += 1;
+            if self.cells[i].count == 0 {
+                self.cells[i] = Cell {
+                    fingerprint: fp,
+                    count: 1,
+                };
+                self.items += 1;
+                self.counters.record_insert(probes, buckets.len() as u64);
+                return Ok(());
+            }
+        }
+        self.counters.record_insert(probes, buckets.len() as u64);
+        self.counters.add_failed_insert();
+        Err(InsertError::Full { kicks: 0 })
+    }
+
+    fn contains(&self, item: &[u8]) -> bool {
+        let (fp, buckets) = self.key_of(item);
+        let mut probes = 0u64;
+        let mut found = false;
+        'outer: for (t, &b) in buckets.iter().enumerate() {
+            for i in self.bucket_range(t, b) {
+                probes += 1;
+                if self.cells[i].count > 0 && self.cells[i].fingerprint == fp {
+                    found = true;
+                    break 'outer;
+                }
+            }
+        }
+        self.counters.record_lookup(probes, buckets.len() as u64);
+        found
+    }
+
+    fn delete(&mut self, item: &[u8]) -> bool {
+        let (fp, buckets) = self.key_of(item);
+        let mut probes = 0u64;
+        let mut removed = false;
+        'outer: for (t, &b) in buckets.iter().enumerate() {
+            for i in self.bucket_range(t, b) {
+                probes += 1;
+                if self.cells[i].count > 0 && self.cells[i].fingerprint == fp {
+                    self.cells[i].count -= 1;
+                    if self.cells[i].count == 0 {
+                        self.cells[i].fingerprint = 0;
+                    }
+                    self.items -= 1;
+                    removed = true;
+                    break 'outer;
+                }
+            }
+        }
+        self.counters.record_delete(probes, buckets.len() as u64);
+        removed
+    }
+
+    fn len(&self) -> usize {
+        self.items
+    }
+
+    fn capacity(&self) -> usize {
+        self.cells.len()
+    }
+
+    fn stats(&self) -> Stats {
+        self.counters.snapshot()
+    }
+
+    fn reset_stats(&mut self) {
+        self.counters.reset();
+    }
+
+    fn name(&self) -> String {
+        "dlCBF".to_owned()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key(i: u64) -> Vec<u8> {
+        format!("dlcbf-{i}").into_bytes()
+    }
+
+    #[test]
+    fn roundtrip() {
+        let mut f = DlCountingBloomFilter::new(DlCbfConfig::for_items(100)).unwrap();
+        f.insert(b"a").unwrap();
+        assert!(f.contains(b"a"));
+        assert!(f.delete(b"a"));
+        assert!(!f.contains(b"a"));
+    }
+
+    #[test]
+    fn no_false_negatives_at_design_load() {
+        let mut f = DlCountingBloomFilter::new(DlCbfConfig::for_items(10_000)).unwrap();
+        for i in 0..10_000 {
+            f.insert(&key(i)).unwrap();
+        }
+        for i in 0..10_000 {
+            assert!(f.contains(&key(i)), "item {i} lost");
+        }
+    }
+
+    #[test]
+    fn multiset_semantics() {
+        let mut f = DlCountingBloomFilter::new(DlCbfConfig::for_items(100)).unwrap();
+        f.insert(b"dup").unwrap();
+        f.insert(b"dup").unwrap();
+        assert!(f.delete(b"dup"));
+        assert!(f.contains(b"dup"));
+        assert!(f.delete(b"dup"));
+        assert!(!f.contains(b"dup"));
+    }
+
+    #[test]
+    fn left_bias_balances_load() {
+        let mut f = DlCountingBloomFilter::new(DlCbfConfig::for_items(20_000)).unwrap();
+        for i in 0..15_000 {
+            f.insert(&key(i)).unwrap();
+        }
+        // With d-left placement the max bucket load stays near the mean;
+        // verify no subtable-0 bucket overflowed while others are empty.
+        let mut max_load = 0;
+        for t in 0..f.config.subtables {
+            for b in 0..f.config.buckets_per_subtable {
+                max_load = max_load.max(f.bucket_load(t, b));
+            }
+        }
+        assert!(
+            max_load <= f.config.cells_per_bucket,
+            "bucket overflow escaped"
+        );
+    }
+
+    #[test]
+    fn rejects_bad_geometry() {
+        let mut c = DlCbfConfig::for_items(10);
+        c.subtables = 0;
+        assert!(DlCountingBloomFilter::new(c).is_err());
+        let mut c = DlCbfConfig::for_items(10);
+        c.cells_per_bucket = 0;
+        assert!(DlCountingBloomFilter::new(c).is_err());
+        let mut c = DlCbfConfig::for_items(10);
+        c.fingerprint_bits = 1;
+        assert!(DlCountingBloomFilter::new(c).is_err());
+    }
+
+    #[test]
+    fn len_tracks_multiset_size() {
+        let mut f = DlCountingBloomFilter::new(DlCbfConfig::for_items(100)).unwrap();
+        f.insert(b"x").unwrap();
+        f.insert(b"x").unwrap();
+        f.insert(b"y").unwrap();
+        assert_eq!(f.len(), 3);
+        f.delete(b"x");
+        assert_eq!(f.len(), 2);
+    }
+}

@@ -1,0 +1,657 @@
+//! The quotient filter (Bender et al., "Don't thrash: how to cache your
+//! hash on flash", VLDB 2012) — the related-work deletable AMQ the paper
+//! cites in Section I.
+//!
+//! A quotient filter stores `p`-bit fingerprints split into a `q`-bit
+//! *quotient* (the canonical slot index) and an `r`-bit *remainder*
+//! (stored in the slot). Collided fingerprints are kept in sorted *runs*
+//! laid out contiguously via linear probing; three metadata bits per slot
+//! (`occupied`, `continuation`, `shifted`) make the layout decodable.
+//!
+//! Implementation note: lookups use the canonical cluster-scan; inserts
+//! and deletes use a decode → modify → re-encode of the enclosing
+//! "super-cluster" (the contiguous occupied span). Re-encoding is a few
+//! dozen slot writes at sane loads and is dramatically easier to prove
+//! correct than in-place shifting — the differential tests at the bottom
+//! of this file check it slot-for-slot against an exact model.
+
+use vcf_table::PackedTable;
+use vcf_traits::{BuildError, Counters, Filter, InsertError, Stats};
+
+/// A run group: the canonical quotient plus its sorted remainders.
+type Group = (usize, Vec<u64>);
+
+const OCCUPIED: u64 = 0b001;
+const CONTINUATION: u64 = 0b010;
+const SHIFTED: u64 = 0b100;
+const META_BITS: u32 = 3;
+
+/// A quotient filter over `2^q` slots with `r`-bit remainders.
+///
+/// Supports insertion, exact-fingerprint membership and true deletion.
+/// Unlike the cuckoo family it degrades gracefully (no relocation
+/// cascades) but its clusters lengthen super-linearly past ~75 % load, so
+/// [`QuotientFilter::new`] sizes the table for that operating point.
+///
+/// # Examples
+///
+/// ```
+/// use vcf_baselines::QuotientFilter;
+/// use vcf_traits::Filter;
+///
+/// let mut qf = QuotientFilter::new(10, 11)?; // 2^10 slots, 11-bit remainders
+/// qf.insert(b"event-1")?;
+/// assert!(qf.contains(b"event-1"));
+/// assert!(qf.delete(b"event-1"));
+/// assert!(!qf.contains(b"event-1"));
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct QuotientFilter {
+    slots: PackedTable,
+    quotient_bits: u32,
+    remainder_bits: u32,
+    len: usize,
+    hash: vcf_hash::HashKind,
+    counters: Counters,
+}
+
+impl QuotientFilter {
+    /// Builds a quotient filter with `2^quotient_bits` slots and
+    /// `remainder_bits`-bit remainders.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`BuildError`] when `quotient_bits` is outside `3..=28`
+    /// or `remainder_bits` outside `2..=32`.
+    pub fn new(quotient_bits: u32, remainder_bits: u32) -> Result<Self, BuildError> {
+        if !(3..=28).contains(&quotient_bits) {
+            return Err(BuildError::InvalidConfig {
+                reason: format!("quotient bits must be 3..=28, got {quotient_bits}"),
+            });
+        }
+        if !(2..=32).contains(&remainder_bits) {
+            return Err(BuildError::InvalidFingerprintBits {
+                got: remainder_bits,
+                min: 2,
+                max: 32,
+            });
+        }
+        let slots = PackedTable::new(1usize << quotient_bits, remainder_bits + META_BITS)?;
+        Ok(Self {
+            slots,
+            quotient_bits,
+            remainder_bits,
+            len: 0,
+            hash: vcf_hash::HashKind::Fnv1a,
+            counters: Counters::new(),
+        })
+    }
+
+    /// Sizes a filter for `items` items at ≤ 75 % load with a false
+    /// positive rate near `fpr`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates geometry errors from [`QuotientFilter::new`].
+    pub fn for_items(items: usize, fpr: f64) -> Result<Self, BuildError> {
+        let slots_needed = ((items.max(1) as f64) / 0.75).ceil() as usize;
+        let quotient_bits = slots_needed
+            .next_power_of_two()
+            .trailing_zeros()
+            .clamp(3, 28);
+        // FPR ≈ 2^-r · α for a quotient filter; solve for r at α = 0.75.
+        let remainder_bits = ((0.75 / fpr.clamp(1e-9, 0.5)).log2().ceil() as u32).clamp(2, 32);
+        Self::new(quotient_bits, remainder_bits)
+    }
+
+    /// Number of slots.
+    pub fn slots(&self) -> usize {
+        1usize << self.quotient_bits
+    }
+
+    /// Remainder width in bits.
+    pub fn remainder_bits(&self) -> u32 {
+        self.remainder_bits
+    }
+
+    #[inline]
+    fn mask(&self) -> usize {
+        self.slots() - 1
+    }
+
+    #[inline]
+    fn inc(&self, i: usize) -> usize {
+        (i + 1) & self.mask()
+    }
+
+    #[inline]
+    fn dec(&self, i: usize) -> usize {
+        (i + self.mask()) & self.mask()
+    }
+
+    fn fingerprint_of(&self, item: &[u8]) -> (usize, u64) {
+        let h = self.hash.hash64(item);
+        let quotient = (h >> self.remainder_bits) as usize & self.mask();
+        let remainder = h & ((1u64 << self.remainder_bits) - 1);
+        (quotient, remainder)
+    }
+
+    // --- raw slot access -------------------------------------------------
+
+    #[inline]
+    fn raw(&self, i: usize) -> u64 {
+        self.slots.get(i)
+    }
+
+    #[inline]
+    fn set_raw(&mut self, i: usize, value: u64) {
+        self.slots.set(i, value);
+    }
+
+    #[inline]
+    fn is_empty_slot(&self, i: usize) -> bool {
+        self.raw(i) & (OCCUPIED | CONTINUATION | SHIFTED) == 0
+    }
+
+    #[inline]
+    fn is_occupied(&self, i: usize) -> bool {
+        self.raw(i) & OCCUPIED != 0
+    }
+
+    #[inline]
+    fn is_continuation(&self, i: usize) -> bool {
+        self.raw(i) & CONTINUATION != 0
+    }
+
+    #[inline]
+    fn is_shifted(&self, i: usize) -> bool {
+        self.raw(i) & SHIFTED != 0
+    }
+
+    #[inline]
+    fn remainder(&self, i: usize) -> u64 {
+        self.raw(i) >> META_BITS
+    }
+
+    /// Canonical cluster walk: the slot where the run for quotient `q`
+    /// starts. Precondition: `is_occupied(q)`.
+    fn find_run_start(&self, q: usize) -> usize {
+        // Walk left to the cluster start.
+        let mut b = q;
+        while self.is_shifted(b) {
+            b = self.dec(b);
+        }
+        // Walk runs forward: one run per occupied slot in b..=q.
+        let mut s = b;
+        while b != q {
+            // Skip to the end of the current run.
+            loop {
+                s = self.inc(s);
+                if !self.is_continuation(s) {
+                    break;
+                }
+            }
+            // Advance b to the next occupied canonical slot.
+            loop {
+                b = self.inc(b);
+                if self.is_occupied(b) {
+                    break;
+                }
+            }
+        }
+        s
+    }
+
+    // --- decode / re-encode ---------------------------------------------
+
+    /// Decodes the maximal contiguous occupied span ("super-cluster")
+    /// containing slot `q` into `(span_start, groups)`, where each group
+    /// is `(quotient, sorted remainders)` in cluster order. Returns `None`
+    /// when slot `q` belongs to no span and is not occupied.
+    fn decode_span(&self, q: usize) -> Option<(usize, Vec<Group>)> {
+        if self.is_empty_slot(q) && !self.is_occupied(q) {
+            return None;
+        }
+        // The span is bounded by empty slots; find its physical start.
+        let mut start = q;
+        while !self.is_empty_slot(self.dec(start)) {
+            start = self.dec(start);
+            debug_assert_ne!(start, q, "table must always keep one empty slot");
+        }
+        // An element may sit at `q` while `q`'s canonical bit lives within
+        // the same span, so walking the span decodes everything relevant.
+        // Cluster starts are unshifted; the span start is one.
+        debug_assert!(!self.is_shifted(start));
+
+        // Collect canonical quotients (occupied bits) and runs in order.
+        let mut quotients = Vec::new();
+        let mut runs: Vec<Vec<u64>> = Vec::new();
+        let mut i = start;
+        while !self.is_empty_slot(i) || self.is_occupied(i) {
+            if self.is_occupied(i) {
+                quotients.push(i);
+            }
+            if !self.is_empty_slot(i) {
+                if self.is_continuation(i) {
+                    runs.last_mut()
+                        .expect("continuation implies a run head")
+                        .push(self.remainder(i));
+                } else {
+                    runs.push(vec![self.remainder(i)]);
+                }
+            }
+            i = self.inc(i);
+            if i == start {
+                break; // full wrap (cannot happen with one empty slot)
+            }
+        }
+        debug_assert_eq!(quotients.len(), runs.len(), "one run per occupied quotient");
+        let groups = quotients.into_iter().zip(runs).collect();
+        Some((start, groups))
+    }
+
+    /// Clears every slot in the half-open modular range `[start, end)`.
+    fn clear_range(&mut self, start: usize, count: usize) {
+        let mut i = start;
+        for _ in 0..count {
+            self.set_raw(i, 0);
+            i = self.inc(i);
+        }
+    }
+
+    /// Re-encodes `groups` (quotient order along the cluster) starting
+    /// from the first group's canonical slot, writing runs back-to-back
+    /// with correct metadata bits.
+    fn encode_groups(&mut self, groups: &[Group]) {
+        if groups.is_empty() {
+            return;
+        }
+        let m = self.slots();
+        let base = groups[0].0;
+        let unwrap = |x: usize| (x + m - base) % m;
+        let mut pos = 0usize; // unwrapped write cursor
+        for (quotient, remainders) in groups {
+            let canonical = unwrap(*quotient);
+            let run_start = canonical.max(pos);
+            for (j, &remainder) in remainders.iter().enumerate() {
+                let slot = (base + run_start + j) & self.mask();
+                let mut bits = remainder << META_BITS;
+                if j > 0 {
+                    bits |= CONTINUATION;
+                }
+                if slot != *quotient {
+                    bits |= SHIFTED;
+                }
+                // Preserve the slot's occupied bit (it describes the
+                // canonical quotient, not the resident remainder).
+                bits |= self.raw(slot) & OCCUPIED;
+                self.set_raw(slot, bits);
+            }
+            pos = run_start + remainders.len();
+        }
+        // Set occupied bits for every encoded quotient.
+        for (quotient, _) in groups {
+            self.set_raw(*quotient, self.raw(*quotient) | OCCUPIED);
+        }
+    }
+
+    fn span_len(groups: &[Group], m: usize) -> usize {
+        if groups.is_empty() {
+            return 0;
+        }
+        let base = groups[0].0;
+        let mut pos = 0usize;
+        for (quotient, remainders) in groups {
+            let canonical = (*quotient + m - base) % m;
+            pos = canonical.max(pos) + remainders.len();
+        }
+        pos
+    }
+}
+
+impl Filter for QuotientFilter {
+    fn insert(&mut self, item: &[u8]) -> Result<(), InsertError> {
+        // One empty slot must always remain so cluster scans terminate.
+        if self.len + 1 >= self.slots() {
+            self.counters.record_insert(0, 0);
+            self.counters.add_failed_insert();
+            return Err(InsertError::Full { kicks: 0 });
+        }
+        let (q, r) = self.fingerprint_of(item);
+        self.counters.add_hashes(1);
+
+        // Fast path: canonical slot free and unoccupied.
+        if self.is_empty_slot(q) && !self.is_occupied(q) {
+            self.set_raw(q, (r << META_BITS) | OCCUPIED);
+            self.len += 1;
+            self.counters.record_insert(1, 1);
+            return Ok(());
+        }
+
+        // Slow path: decode the span (possibly starting a new one at q if
+        // q is empty but sits right before an existing span — decode_span
+        // handles only non-empty q, so handle the adjacent case inline).
+        let (start, mut groups) = match self.decode_span(q) {
+            Some(decoded) => decoded,
+            None => {
+                // q is empty and unoccupied but the fast path failed —
+                // unreachable, kept for defensive clarity.
+                self.set_raw(q, (r << META_BITS) | OCCUPIED);
+                self.len += 1;
+                self.counters.record_insert(1, 1);
+                return Ok(());
+            }
+        };
+        let m = self.slots();
+        let old_len = Self::span_len(&groups, m).max({
+            // physical span length: from start to the first empty slot
+            let mut count = 0usize;
+            let mut i = start;
+            while !self.is_empty_slot(i) {
+                count += 1;
+                i = self.inc(i);
+            }
+            count
+        });
+
+        // Insert (q, r) into the group list, keeping cluster order.
+        let base = groups[0].0;
+        let unwrap = |x: usize| (x + m - base) % m;
+        match groups.binary_search_by_key(&unwrap(q), |(gq, _)| unwrap(*gq)) {
+            Ok(index) => {
+                let remainders = &mut groups[index].1;
+                let at = remainders.partition_point(|&existing| existing < r);
+                remainders.insert(at, r);
+            }
+            Err(index) => groups.insert(index, (q, vec![r])),
+        }
+
+        // The new first group may have an earlier canonical slot than the
+        // old span start (a fresh run head in front).
+        let new_base = groups[0].0;
+        let probes = old_len as u64 + 2;
+        self.clear_range(start, old_len);
+        // Also clear occupied bits the old span held (clear_range did) and
+        // rebuild everything.
+        self.encode_groups(&groups);
+        let _ = new_base;
+        self.len += 1;
+        self.counters.record_insert(probes, 1);
+        Ok(())
+    }
+
+    fn contains(&self, item: &[u8]) -> bool {
+        let (q, r) = self.fingerprint_of(item);
+        if !self.is_occupied(q) {
+            self.counters.record_lookup(1, 1);
+            return false;
+        }
+        let mut s = self.find_run_start(q);
+        let mut probes = 1u64;
+        loop {
+            probes += 1;
+            if self.remainder(s) == r {
+                self.counters.record_lookup(probes, 1);
+                return true;
+            }
+            s = self.inc(s);
+            if !self.is_continuation(s) {
+                break;
+            }
+        }
+        self.counters.record_lookup(probes, 1);
+        false
+    }
+
+    fn delete(&mut self, item: &[u8]) -> bool {
+        let (q, r) = self.fingerprint_of(item);
+        if !self.is_occupied(q) {
+            self.counters.record_delete(1, 1);
+            return false;
+        }
+        let (start, mut groups) = match self.decode_span(q) {
+            Some(decoded) => decoded,
+            None => {
+                self.counters.record_delete(1, 1);
+                return false;
+            }
+        };
+        let _m = self.slots();
+        let Some(index) = groups.iter().position(|(gq, _)| *gq == q) else {
+            self.counters.record_delete(2, 1);
+            return false;
+        };
+        let Ok(at) = groups[index].1.binary_search(&r) else {
+            self.counters.record_delete(2, 1);
+            return false;
+        };
+        groups[index].1.remove(at);
+        if groups[index].1.is_empty() {
+            groups.remove(index);
+        }
+
+        let old_len = {
+            let mut count = 0usize;
+            let mut i = start;
+            while !self.is_empty_slot(i) {
+                count += 1;
+                i = self.inc(i);
+            }
+            count
+        };
+        self.clear_range(start, old_len);
+        // Re-encoding a span whose first group moved may split it into
+        // independent clusters; encode_groups places each run at
+        // max(canonical, cursor), which is exactly the cluster layout.
+        // Groups after a gap re-anchor at their canonical slots.
+        self.encode_groups(&groups);
+        self.len -= 1;
+        self.counters.record_delete(old_len as u64 + 1, 1);
+        true
+    }
+
+    fn len(&self) -> usize {
+        self.len
+    }
+
+    fn capacity(&self) -> usize {
+        self.slots()
+    }
+
+    fn stats(&self) -> Stats {
+        self.counters.snapshot()
+    }
+
+    fn reset_stats(&mut self) {
+        self.counters.reset();
+    }
+
+    fn name(&self) -> String {
+        "QF".to_owned()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+    use vcf_hash::SplitMix64;
+
+    fn key(i: u64) -> Vec<u8> {
+        format!("qf-{i}").into_bytes()
+    }
+
+    #[test]
+    fn rejects_bad_geometry() {
+        assert!(QuotientFilter::new(2, 8).is_err());
+        assert!(QuotientFilter::new(29, 8).is_err());
+        assert!(QuotientFilter::new(10, 1).is_err());
+        assert!(QuotientFilter::new(10, 33).is_err());
+        assert!(QuotientFilter::new(10, 8).is_ok());
+    }
+
+    #[test]
+    fn roundtrip() {
+        let mut qf = QuotientFilter::new(8, 10).unwrap();
+        qf.insert(b"a").unwrap();
+        assert!(qf.contains(b"a"));
+        assert_eq!(qf.len(), 1);
+        assert!(qf.delete(b"a"));
+        assert!(!qf.contains(b"a"));
+        assert_eq!(qf.len(), 0);
+        assert!(!qf.delete(b"a"));
+    }
+
+    #[test]
+    fn no_false_negatives_at_75_percent() {
+        let mut qf = QuotientFilter::new(12, 12).unwrap();
+        let n = (qf.slots() * 3) / 4;
+        for i in 0..n as u64 {
+            qf.insert(&key(i)).unwrap();
+        }
+        for i in 0..n as u64 {
+            assert!(qf.contains(&key(i)), "item {i} lost");
+        }
+    }
+
+    #[test]
+    fn duplicates_are_multiset() {
+        let mut qf = QuotientFilter::new(8, 10).unwrap();
+        qf.insert(b"dup").unwrap();
+        qf.insert(b"dup").unwrap();
+        assert!(qf.delete(b"dup"));
+        assert!(qf.contains(b"dup"), "second copy must survive");
+        assert!(qf.delete(b"dup"));
+        assert!(!qf.contains(b"dup"));
+    }
+
+    #[test]
+    fn refuses_insert_when_one_slot_left() {
+        let mut qf = QuotientFilter::new(4, 8).unwrap();
+        let mut stored = 0;
+        for i in 0..200u64 {
+            if qf.insert(&key(i)).is_ok() {
+                stored += 1;
+            }
+        }
+        assert_eq!(stored, qf.slots() - 1, "must keep exactly one empty slot");
+    }
+
+    /// The heavyweight check: the quotient filter is EXACT over
+    /// (quotient, remainder) pairs, so a multiset model predicts every
+    /// answer. Random interleavings of insert/delete/lookup must agree
+    /// with the model perfectly.
+    #[test]
+    fn differential_against_exact_model() {
+        let mut qf = QuotientFilter::new(7, 9).unwrap(); // 128 slots — collisions guaranteed
+        let mut model: HashMap<(usize, u64), usize> = HashMap::new();
+        let mut live_keys: Vec<u64> = Vec::new();
+        let mut rng = SplitMix64::new(42);
+        let mut total = 0usize;
+
+        for step in 0..20_000u64 {
+            let choice = rng.next_below(10);
+            if choice < 5 && total < 90 {
+                // insert a fresh key
+                let k = rng.next_u64();
+                let (q, r) = qf.fingerprint_of(&key(k));
+                if qf.insert(&key(k)).is_ok() {
+                    *model.entry((q, r)).or_insert(0) += 1;
+                    live_keys.push(k);
+                    total += 1;
+                }
+            } else if choice < 8 && !live_keys.is_empty() {
+                // delete a live key
+                let at = rng.next_below(live_keys.len() as u64) as usize;
+                let k = live_keys.swap_remove(at);
+                let (q, r) = qf.fingerprint_of(&key(k));
+                assert!(
+                    qf.delete(&key(k)),
+                    "step {step}: delete of live key {k} failed"
+                );
+                let count = model.get_mut(&(q, r)).expect("model holds the key");
+                *count -= 1;
+                if *count == 0 {
+                    model.remove(&(q, r));
+                }
+                total -= 1;
+            } else {
+                // lookup a random key (live or not): answers must match
+                // the model exactly (the QF is exact per fingerprint).
+                let k = if !live_keys.is_empty() && rng.next_below(2) == 0 {
+                    live_keys[rng.next_below(live_keys.len() as u64) as usize]
+                } else {
+                    rng.next_u64()
+                };
+                let (q, r) = qf.fingerprint_of(&key(k));
+                let expected = model.contains_key(&(q, r));
+                assert_eq!(
+                    qf.contains(&key(k)),
+                    expected,
+                    "step {step}: lookup divergence for key {k} (q={q}, r={r:#x})"
+                );
+            }
+            // Global invariant: count agreement.
+            let model_total: usize = model.values().sum();
+            assert_eq!(qf.len(), model_total, "step {step}: len diverged");
+        }
+        // Drain everything; the table must end pristine.
+        for k in live_keys {
+            assert!(qf.delete(&key(k)));
+        }
+        assert_eq!(qf.len(), 0);
+        for i in 0..qf.slots() {
+            assert!(
+                qf.is_empty_slot(i) && !qf.is_occupied(i),
+                "slot {i} not clean"
+            );
+        }
+    }
+
+    #[test]
+    fn wraparound_clusters_work() {
+        // Force quotients near the top of a tiny table so runs wrap.
+        let mut qf = QuotientFilter::new(3, 16).unwrap(); // 8 slots
+        let mut inserted = Vec::new();
+        for i in 0..400u64 {
+            let k = key(i);
+            let (q, _) = qf.fingerprint_of(&k);
+            if q >= 6 && inserted.len() < 5 {
+                qf.insert(&k).unwrap();
+                inserted.push(k);
+            }
+        }
+        assert!(inserted.len() >= 3, "need wrapping inserts for this test");
+        for k in &inserted {
+            assert!(qf.contains(k), "wrapped item lost");
+        }
+        for k in &inserted {
+            assert!(qf.delete(k));
+        }
+        assert_eq!(qf.len(), 0);
+    }
+
+    #[test]
+    fn for_items_sizing() {
+        let qf = QuotientFilter::for_items(10_000, 1e-3).unwrap();
+        assert!(qf.slots() >= 10_000 * 4 / 3);
+        assert!(qf.remainder_bits() >= 9);
+    }
+
+    #[test]
+    fn fpr_close_to_theory() {
+        let mut qf = QuotientFilter::new(13, 12).unwrap();
+        let n = qf.slots() * 3 / 4;
+        for i in 0..n as u64 {
+            qf.insert(&key(i)).unwrap();
+        }
+        let aliens = 100_000u64;
+        let fp = (0..aliens)
+            .filter(|i| qf.contains(&key(1_000_000 + i)))
+            .count();
+        let fpr = fp as f64 / aliens as f64;
+        // ξ ≈ α · 2^-r = 0.75 / 4096 ≈ 1.8e-4.
+        assert!(fpr < 6e-4, "fpr={fpr}");
+    }
+}

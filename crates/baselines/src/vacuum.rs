@@ -1,0 +1,310 @@
+//! The Vacuum filter (Wang, Zhou, Shi, Qian, VLDB 2019) — reference [14]
+//! of the VCF paper.
+//!
+//! Standard CF "can only achieve its claimed advantage in
+//! memory-efficiency when the size of the table is restricted to a power
+//! of two" (Section II-B). The Vacuum filter fixes this by dividing the
+//! table into equal-size power-of-two **chunks** and keeping both
+//! candidate buckets of every item inside one chunk: the XOR alternate is
+//! computed on the *offset within the chunk*, so the total bucket count
+//! only needs to be a multiple of the chunk size.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use vcf_hash::HashKind;
+use vcf_table::FingerprintTable;
+use vcf_traits::{BuildError, Counters, Filter, InsertError, Stats};
+
+/// A Vacuum filter: chunked two-candidate cuckoo hashing over an
+/// arbitrary multiple-of-chunk bucket count.
+///
+/// # Examples
+///
+/// ```
+/// use vcf_baselines::VacuumFilter;
+/// use vcf_traits::Filter;
+///
+/// // 3 · 64 = 192 buckets — NOT a power of two.
+/// let mut vf = VacuumFilter::new(192, 64, 4, 14, 500, 7)?;
+/// vf.insert(b"object")?;
+/// assert!(vf.contains(b"object"));
+/// assert!(vf.delete(b"object"));
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct VacuumFilter {
+    table: FingerprintTable,
+    chunk_size: usize,
+    hash: HashKind,
+    max_kicks: u32,
+    rng: SmallRng,
+    undo: Vec<(usize, usize, u32)>,
+    counters: Counters,
+}
+
+impl VacuumFilter {
+    /// Builds a Vacuum filter of `buckets` buckets grouped into chunks of
+    /// `chunk_size` (a power of two dividing `buckets`).
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`BuildError`] when `chunk_size` is not a power of two,
+    /// does not divide `buckets`, or the slot geometry is invalid.
+    pub fn new(
+        buckets: usize,
+        chunk_size: usize,
+        slots_per_bucket: usize,
+        fingerprint_bits: u32,
+        max_kicks: u32,
+        seed: u64,
+    ) -> Result<Self, BuildError> {
+        if chunk_size == 0 || !chunk_size.is_power_of_two() {
+            return Err(BuildError::InvalidConfig {
+                reason: format!("chunk size must be a power of two, got {chunk_size}"),
+            });
+        }
+        if buckets == 0 || !buckets.is_multiple_of(chunk_size) {
+            return Err(BuildError::InvalidBucketCount {
+                got: buckets,
+                requirement: "a positive multiple of the chunk size",
+            });
+        }
+        let table = FingerprintTable::new(buckets, slots_per_bucket, fingerprint_bits)?;
+        Ok(Self {
+            table,
+            chunk_size,
+            hash: HashKind::Fnv1a,
+            max_kicks,
+            rng: SmallRng::seed_from_u64(seed),
+            undo: Vec::new(),
+            counters: Counters::new(),
+        })
+    }
+
+    /// Sizes a filter for `items` items at ~95 % load with 64-bucket
+    /// chunks — demonstrating the non-power-of-two capability.
+    ///
+    /// # Errors
+    ///
+    /// Propagates geometry errors.
+    pub fn for_items(items: usize, fingerprint_bits: u32, seed: u64) -> Result<Self, BuildError> {
+        let buckets_needed = (items as f64 / 0.95 / 4.0).ceil() as usize;
+        let chunk = 64usize;
+        let buckets = buckets_needed.div_ceil(chunk).max(1) * chunk;
+        Self::new(buckets, chunk, 4, fingerprint_bits, 500, seed)
+    }
+
+    /// Number of chunks in the table.
+    pub fn chunks(&self) -> usize {
+        self.table.buckets() / self.chunk_size
+    }
+
+    fn key_of(&self, item: &[u8]) -> (u32, usize) {
+        let h = self.hash.hash64(item);
+        let fp_bits = self.table.fingerprint_bits();
+        let fp_mask = if fp_bits == 32 {
+            u32::MAX
+        } else {
+            (1u32 << fp_bits) - 1
+        };
+        let mut fp = ((h >> 32) as u32) & fp_mask;
+        if fp == 0 {
+            fp = 1;
+        }
+        (fp, (h % self.table.buckets() as u64) as usize)
+    }
+
+    /// The chunk-local XOR alternate: both candidates share a chunk, so
+    /// the table size need not be a power of two (the VF trick).
+    #[inline]
+    fn alternate(&self, bucket: usize, fingerprint: u32) -> usize {
+        let chunk_base = bucket - (bucket % self.chunk_size);
+        let offset = bucket % self.chunk_size;
+        let flip = (self.hash.hash_fingerprint(fingerprint) as usize) & (self.chunk_size - 1);
+        chunk_base + (offset ^ flip)
+    }
+}
+
+impl Filter for VacuumFilter {
+    fn insert(&mut self, item: &[u8]) -> Result<(), InsertError> {
+        let (fingerprint, b1) = self.key_of(item);
+        self.counters.add_hashes(2);
+        let b2 = self.alternate(b1, fingerprint);
+        let slots = self.table.slots_per_bucket();
+
+        let mut probes = 0u64;
+        for bucket in [b1, b2] {
+            probes += slots as u64;
+            if self.table.try_insert(bucket, fingerprint).is_some() {
+                self.counters.record_insert(probes, 2);
+                return Ok(());
+            }
+        }
+
+        self.undo.clear();
+        let mut current_fp = fingerprint;
+        let mut current_bucket = if self.rng.gen_bool(0.5) { b1 } else { b2 };
+        let mut kicks = 0u64;
+        for _ in 0..self.max_kicks {
+            let slot = self.rng.gen_range(0..slots);
+            let victim = self.table.swap(current_bucket, slot, current_fp);
+            self.undo.push((current_bucket, slot, victim));
+            current_fp = victim;
+            kicks += 1;
+            self.counters.add_hashes(1);
+            current_bucket = self.alternate(current_bucket, current_fp);
+            probes += slots as u64;
+            if self.table.try_insert(current_bucket, current_fp).is_some() {
+                self.counters.add_kicks(kicks);
+                self.counters.record_insert(probes, 2 + kicks);
+                return Ok(());
+            }
+        }
+
+        for &(bucket, slot, previous) in self.undo.iter().rev() {
+            self.table.set(bucket, slot, previous);
+        }
+        self.undo.clear();
+        self.counters.add_kicks(kicks);
+        self.counters.record_insert(probes, 2 + kicks);
+        self.counters.add_failed_insert();
+        Err(InsertError::Full { kicks })
+    }
+
+    fn contains(&self, item: &[u8]) -> bool {
+        let (fingerprint, b1) = self.key_of(item);
+        let b2 = self.alternate(b1, fingerprint);
+        let slots = self.table.slots_per_bucket() as u64;
+        let mut probes = slots;
+        let mut found = self.table.contains(b1, fingerprint);
+        if !found && b2 != b1 {
+            probes += slots;
+            found = self.table.contains(b2, fingerprint);
+        }
+        self.counters.record_lookup(probes, 2);
+        found
+    }
+
+    fn delete(&mut self, item: &[u8]) -> bool {
+        let (fingerprint, b1) = self.key_of(item);
+        let b2 = self.alternate(b1, fingerprint);
+        let slots = self.table.slots_per_bucket() as u64;
+        let mut probes = slots;
+        let mut removed = self.table.remove_one(b1, fingerprint);
+        if !removed && b2 != b1 {
+            probes += slots;
+            removed = self.table.remove_one(b2, fingerprint);
+        }
+        self.counters.record_delete(probes, 2);
+        removed
+    }
+
+    fn len(&self) -> usize {
+        self.table.occupied()
+    }
+
+    fn capacity(&self) -> usize {
+        self.table.capacity()
+    }
+
+    fn stats(&self) -> Stats {
+        self.counters.snapshot()
+    }
+
+    fn reset_stats(&mut self) {
+        self.counters.reset();
+    }
+
+    fn name(&self) -> String {
+        "VF".to_owned()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key(i: u64) -> Vec<u8> {
+        format!("vf-{i}").into_bytes()
+    }
+
+    #[test]
+    fn rejects_bad_geometry() {
+        assert!(VacuumFilter::new(100, 64, 4, 14, 500, 1).is_err()); // not multiple
+        assert!(VacuumFilter::new(192, 48, 4, 14, 500, 1).is_err()); // chunk not pow2
+        assert!(VacuumFilter::new(0, 64, 4, 14, 500, 1).is_err());
+        assert!(VacuumFilter::new(192, 64, 4, 14, 500, 1).is_ok());
+    }
+
+    #[test]
+    fn non_power_of_two_table_roundtrips() {
+        // 3 · 256 buckets = 768: impossible for standard CF.
+        let mut vf = VacuumFilter::new(768, 256, 4, 14, 500, 2).unwrap();
+        assert_eq!(vf.chunks(), 3);
+        for i in 0..2500 {
+            vf.insert(&key(i)).unwrap();
+        }
+        for i in 0..2500 {
+            assert!(vf.contains(&key(i)), "item {i} lost");
+        }
+        for i in 0..1000 {
+            assert!(vf.delete(&key(i)));
+        }
+        for i in 1000..2500 {
+            assert!(vf.contains(&key(i)));
+        }
+    }
+
+    #[test]
+    fn alternates_stay_within_chunk() {
+        let vf = VacuumFilter::new(768, 256, 4, 14, 500, 3).unwrap();
+        for fp in 1..2000u32 {
+            for bucket in [0usize, 100, 255, 256, 400, 767] {
+                let alt = vf.alternate(bucket, fp);
+                assert_eq!(
+                    bucket / 256,
+                    alt / 256,
+                    "candidates must share a chunk: {bucket} vs {alt}"
+                );
+                assert_eq!(vf.alternate(alt, fp), bucket, "involution broken");
+            }
+        }
+    }
+
+    #[test]
+    fn fills_high_like_cf() {
+        let mut vf = VacuumFilter::for_items(10_000, 14, 4).unwrap();
+        let mut stored = 0usize;
+        for i in 0..vf.capacity() as u64 {
+            if vf.insert(&key(i)).is_ok() {
+                stored += 1;
+            }
+        }
+        let alpha = stored as f64 / vf.capacity() as f64;
+        assert!(alpha > 0.93, "vacuum filter load factor {alpha}");
+    }
+
+    #[test]
+    fn failed_inserts_roll_back() {
+        let mut vf = VacuumFilter::new(192, 64, 4, 14, 100, 5).unwrap();
+        let mut acknowledged = Vec::new();
+        for i in 0..(vf.capacity() as u64 + 60) {
+            if vf.insert(&key(i)).is_ok() {
+                acknowledged.push(i);
+            }
+        }
+        for i in acknowledged {
+            assert!(vf.contains(&key(i)), "acknowledged {i} lost");
+        }
+    }
+
+    #[test]
+    fn for_items_uses_tight_non_pow2_sizing() {
+        let vf = VacuumFilter::for_items(100_000, 14, 6).unwrap();
+        // A power-of-two CF would need 2^15 buckets = 131072 slots;
+        // the vacuum filter sizes within ~5 % of demand instead.
+        let waste = vf.capacity() as f64 / (100_000.0 / 0.95);
+        assert!(waste < 1.05, "vacuum sizing should be tight: {waste}");
+        assert!(!vf.table.buckets().is_power_of_two());
+    }
+}

@@ -1,0 +1,117 @@
+//! The paper's motivating scenario: a sustained online workload that
+//! inserts and deletes at high occupancy (Section I, "online applications
+//! wherein the items join and leave frequently").
+//!
+//! Each iteration replays a fixed churn trace (delete one, insert one,
+//! look up two) against a filter pre-filled to 90 %. VCF's advantage here
+//! is the headline claim of the paper.
+
+use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion};
+use vcf_baselines::{CuckooFilter, DaryCuckooFilter};
+use vcf_bench::BENCH_SLOTS_LOG2;
+use vcf_core::{CuckooConfig, Dvcf, VerticalCuckooFilter};
+use vcf_traits::Filter;
+use vcf_workloads::{ChurnConfig, ChurnTrace, Op};
+
+fn config() -> CuckooConfig {
+    CuckooConfig::with_total_slots(1 << BENCH_SLOTS_LOG2).with_seed(42)
+}
+
+fn replay<F: Filter>(filter: &mut F, trace: &ChurnTrace) -> usize {
+    let mut positives = 0usize;
+    for op in trace.iter() {
+        match op {
+            Op::Insert(key) => {
+                let _ = filter.insert(key);
+            }
+            Op::Delete(key) => {
+                filter.delete(key);
+            }
+            Op::Lookup { key, .. } => {
+                if filter.contains(key) {
+                    positives += 1;
+                }
+            }
+        }
+    }
+    positives
+}
+
+fn bench_churn<F: Filter + Clone>(c: &mut Criterion, label: &str, base: F, trace: &ChurnTrace) {
+    // Pre-fill with the trace warm-up once; each iteration replays only
+    // the churn rounds against a clone.
+    let warmup = trace.config().working_set;
+    let mut warm = base;
+    for op in trace.ops().iter().take(warmup) {
+        if let Op::Insert(key) = op {
+            let _ = warm.insert(key);
+        }
+    }
+    let churn_ops = &trace.ops()[warmup..];
+    let rounds = trace.config().rounds;
+
+    let mut g = c.benchmark_group("churn/steady_state");
+    g.throughput(criterion::Throughput::Elements(churn_ops.len() as u64));
+    g.bench_function(BenchmarkId::from_parameter(label), |b| {
+        b.iter_batched(
+            || warm.clone(),
+            |mut filter| {
+                for op in churn_ops {
+                    match op {
+                        Op::Insert(key) => {
+                            let _ = filter.insert(key);
+                        }
+                        Op::Delete(key) => {
+                            filter.delete(key);
+                        }
+                        Op::Lookup { key, .. } => {
+                            std::hint::black_box(filter.contains(key));
+                        }
+                    }
+                }
+                filter
+            },
+            BatchSize::LargeInput,
+        );
+    });
+    g.finish();
+    let _ = rounds;
+}
+
+fn churn_benches(c: &mut Criterion) {
+    let slots = 1usize << BENCH_SLOTS_LOG2;
+    let trace = ChurnTrace::generate(ChurnConfig {
+        working_set: slots * 90 / 100,
+        rounds: 4096,
+        lookups_per_round: 2,
+        positive_fraction: 0.5,
+        seed: 0xc4,
+    });
+
+    bench_churn(c, "CF", CuckooFilter::new(config()).unwrap(), &trace);
+    bench_churn(
+        c,
+        "VCF",
+        VerticalCuckooFilter::new(config()).unwrap(),
+        &trace,
+    );
+    bench_churn(c, "DVCF_r0.5", Dvcf::with_r(config(), 0.5).unwrap(), &trace);
+    bench_churn(
+        c,
+        "DCF",
+        DaryCuckooFilter::new(config(), 4).unwrap(),
+        &trace,
+    );
+
+    // Sanity outside timing: replay must produce every expected positive.
+    let mut vcf = VerticalCuckooFilter::new(config()).unwrap();
+    let positives = replay(&mut vcf, &trace);
+    assert!(positives > 0);
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = churn_benches
+}
+criterion_main!(benches);

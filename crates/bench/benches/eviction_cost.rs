@@ -1,0 +1,63 @@
+//! The marginal insertion near full load — the eviction cascade itself
+//! (Fig. 8, Section V-C).
+//!
+//! Each iteration starts from a pre-filled filter at a given load factor
+//! and inserts one batch of fresh keys, so the measured time is dominated
+//! by kick cascades. The gap between CF and VCF widens sharply with α,
+//! which is exactly Equ. 13's `1/(1 − α^((2r+1)b))` divergence.
+
+use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion};
+use vcf_baselines::CuckooFilter;
+use vcf_bench::{bench_keys, BENCH_SLOTS_LOG2};
+use vcf_core::{CuckooConfig, VerticalCuckooFilter};
+use vcf_traits::Filter;
+
+const BATCH: usize = 256;
+
+fn bench_marginal<F: Filter + Clone>(c: &mut Criterion, label: &str, alpha: f64, filter: F) {
+    let slots = 1usize << BENCH_SLOTS_LOG2;
+    let warm = (slots as f64 * alpha) as usize;
+    let keys = bench_keys(warm + BATCH, 7);
+    let mut loaded = filter;
+    for key in keys.iter().take(warm) {
+        let _ = loaded.insert(key);
+    }
+    let fresh = &keys[warm..];
+
+    let mut g = c.benchmark_group(format!("eviction/alpha{:02}", (alpha * 100.0) as u32));
+    g.throughput(criterion::Throughput::Elements(BATCH as u64));
+    g.bench_function(BenchmarkId::from_parameter(label), |b| {
+        b.iter_batched(
+            || loaded.clone(),
+            |mut filter| {
+                for key in fresh {
+                    let _ = filter.insert(key);
+                }
+                filter
+            },
+            BatchSize::LargeInput,
+        );
+    });
+    g.finish();
+}
+
+fn eviction_benches(c: &mut Criterion) {
+    let config = CuckooConfig::with_total_slots(1 << BENCH_SLOTS_LOG2).with_seed(42);
+    for alpha in [0.80, 0.90, 0.95] {
+        bench_marginal(c, "CF", alpha, CuckooFilter::new(config).unwrap());
+        bench_marginal(c, "VCF", alpha, VerticalCuckooFilter::new(config).unwrap());
+        bench_marginal(
+            c,
+            "IVCF3",
+            alpha,
+            VerticalCuckooFilter::with_mask_ones(config, 3).unwrap(),
+        );
+    }
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = eviction_benches
+}
+criterion_main!(benches);

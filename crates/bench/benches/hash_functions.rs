@@ -1,0 +1,71 @@
+//! Raw hash-function cost and its effect on filter insertion (Table IV).
+//!
+//! Two groups: `hash/raw` times each function over typical key sizes;
+//! `hash/filter_insert` shows how the per-hash cost propagates into CF vs
+//! VCF insertion (the paper's observation that Murmur's higher cost
+//! shrinks VCF's relative advantage).
+
+use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion};
+use vcf_baselines::CuckooFilter;
+use vcf_bench::{bench_keys, BENCH_SLOTS_LOG2};
+use vcf_core::{CuckooConfig, VerticalCuckooFilter};
+use vcf_hash::HashKind;
+use vcf_traits::Filter;
+
+fn raw_hashes(c: &mut Criterion) {
+    for size in [8usize, 16, 64, 256] {
+        let data: Vec<u8> = (0..size).map(|i| i as u8).collect();
+        let mut g = c.benchmark_group(format!("hash/raw/{size}B"));
+        for kind in HashKind::ALL {
+            g.bench_function(BenchmarkId::from_parameter(kind.name()), |b| {
+                b.iter(|| std::hint::black_box(kind.hash64(std::hint::black_box(&data))));
+            });
+        }
+        g.finish();
+    }
+}
+
+fn filter_inserts_by_hash(c: &mut Criterion) {
+    let slots = 1usize << BENCH_SLOTS_LOG2;
+    let n = slots * 95 / 100;
+    let keys = bench_keys(n, 7);
+    for kind in HashKind::ALL {
+        let config = CuckooConfig::with_total_slots(slots)
+            .with_seed(42)
+            .with_hash(kind);
+        let mut g = c.benchmark_group(format!("hash/filter_insert/{}", kind.name()));
+        g.throughput(criterion::Throughput::Elements(n as u64));
+        g.bench_function("CF", |b| {
+            b.iter_batched(
+                || CuckooFilter::new(config).unwrap(),
+                |mut filter| {
+                    for key in &keys {
+                        let _ = filter.insert(key);
+                    }
+                    filter
+                },
+                BatchSize::LargeInput,
+            );
+        });
+        g.bench_function("VCF", |b| {
+            b.iter_batched(
+                || VerticalCuckooFilter::new(config).unwrap(),
+                |mut filter| {
+                    for key in &keys {
+                        let _ = filter.insert(key);
+                    }
+                    filter
+                },
+                BatchSize::LargeInput,
+            );
+        });
+        g.finish();
+    }
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = raw_hashes, filter_inserts_by_hash
+}
+criterion_main!(benches);

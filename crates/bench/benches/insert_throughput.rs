@@ -1,0 +1,72 @@
+//! Per-insert cost across the filter family (Table III "IT", Fig. 7).
+//!
+//! Two regimes per filter: a fill from empty to 50 % (cheap, few kicks)
+//! and a fill from empty to 95 % (the insertion-intensive regime where
+//! VCF's extra candidates pay off).
+
+use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion};
+use vcf_baselines::{BloomConfig, BloomFilter, CuckooFilter, DaryCuckooFilter};
+use vcf_bench::{bench_keys, BENCH_SLOTS_LOG2};
+use vcf_core::{CuckooConfig, Dvcf, VerticalCuckooFilter};
+use vcf_traits::Filter;
+
+fn config() -> CuckooConfig {
+    CuckooConfig::with_total_slots(1 << BENCH_SLOTS_LOG2).with_seed(42)
+}
+
+fn bench_fill<F: Filter>(
+    c: &mut Criterion,
+    group: &str,
+    label: &str,
+    fraction: f64,
+    make: impl Fn() -> F,
+) {
+    let slots = 1usize << BENCH_SLOTS_LOG2;
+    let n = (slots as f64 * fraction) as usize;
+    let keys = bench_keys(n, 7);
+    let mut g = c.benchmark_group(group);
+    g.throughput(criterion::Throughput::Elements(n as u64));
+    g.bench_function(BenchmarkId::from_parameter(label), |b| {
+        b.iter_batched(
+            &make,
+            |mut filter| {
+                for key in &keys {
+                    let _ = filter.insert(key);
+                }
+                filter
+            },
+            BatchSize::LargeInput,
+        );
+    });
+    g.finish();
+}
+
+fn insert_benches(c: &mut Criterion) {
+    for &(group, fraction) in &[("insert/fill50", 0.5), ("insert/fill95", 0.95)] {
+        bench_fill(c, group, "CF", fraction, || {
+            CuckooFilter::new(config()).unwrap()
+        });
+        bench_fill(c, group, "VCF", fraction, || {
+            VerticalCuckooFilter::new(config()).unwrap()
+        });
+        bench_fill(c, group, "IVCF3", fraction, || {
+            VerticalCuckooFilter::with_mask_ones(config(), 3).unwrap()
+        });
+        bench_fill(c, group, "DVCF_r0.5", fraction, || {
+            Dvcf::with_r(config(), 0.5).unwrap()
+        });
+        bench_fill(c, group, "DCF", fraction, || {
+            DaryCuckooFilter::new(config(), 4).unwrap()
+        });
+        bench_fill(c, group, "BF", fraction, || {
+            BloomFilter::new(BloomConfig::for_items(1 << BENCH_SLOTS_LOG2, 5e-4)).unwrap()
+        });
+    }
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = insert_benches
+}
+criterion_main!(benches);

@@ -1,0 +1,60 @@
+//! k-VCF candidate-count sweep (Table V): insertion and lookup cost as
+//! `k` grows, in the paper's zero-relocation regime.
+
+use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion};
+use vcf_bench::{bench_keys, BENCH_SLOTS_LOG2};
+use vcf_core::{CuckooConfig, KVcf};
+use vcf_traits::Filter;
+
+fn config() -> CuckooConfig {
+    CuckooConfig::with_total_slots(1 << BENCH_SLOTS_LOG2)
+        .with_seed(42)
+        .with_fingerprint_bits(16)
+        .with_max_kicks(0)
+}
+
+fn kvcf_benches(c: &mut Criterion) {
+    let slots = 1usize << BENCH_SLOTS_LOG2;
+    let keys = bench_keys(slots, 7);
+
+    let mut g = c.benchmark_group("kvcf/fill_no_kicks");
+    g.throughput(criterion::Throughput::Elements(slots as u64));
+    for k in [2usize, 4, 6, 8, 10] {
+        g.bench_function(BenchmarkId::from_parameter(k), |b| {
+            b.iter_batched(
+                || KVcf::new(config(), k).unwrap(),
+                |mut filter| {
+                    for key in &keys {
+                        let _ = filter.insert(key);
+                    }
+                    filter
+                },
+                BatchSize::LargeInput,
+            );
+        });
+    }
+    g.finish();
+
+    let mut g = c.benchmark_group("kvcf/lookup_positive");
+    for k in [2usize, 4, 6, 8, 10] {
+        let mut filter = KVcf::new(config(), k).unwrap();
+        for key in &keys {
+            let _ = filter.insert(key);
+        }
+        g.bench_function(BenchmarkId::from_parameter(k), |b| {
+            let mut i = 0usize;
+            b.iter(|| {
+                i = (i + 1) % keys.len();
+                std::hint::black_box(filter.contains(&keys[i]))
+            });
+        });
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = kvcf_benches
+}
+criterion_main!(benches);

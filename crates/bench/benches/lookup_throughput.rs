@@ -1,0 +1,84 @@
+//! Per-lookup cost: positive hits and negative (alien) probes, at 90 %
+//! load (Table III "QT", Fig. 6).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use vcf_baselines::{
+    BloomConfig, BloomFilter, CuckooFilter, DaryCuckooFilter, QuotientFilter, VacuumFilter,
+};
+use vcf_bench::{bench_keys, BENCH_SLOTS_LOG2, LOADED_FRACTION};
+use vcf_core::{CuckooConfig, Dvcf, KVcf, VerticalCuckooFilter};
+use vcf_traits::Filter;
+
+fn config() -> CuckooConfig {
+    CuckooConfig::with_total_slots(1 << BENCH_SLOTS_LOG2).with_seed(42)
+}
+
+fn loaded<F: Filter>(mut filter: F, keys: &[Vec<u8>]) -> F {
+    for key in keys {
+        let _ = filter.insert(key);
+    }
+    filter
+}
+
+fn bench_lookups<F: Filter>(c: &mut Criterion, label: &str, filter: F) {
+    let slots = 1usize << BENCH_SLOTS_LOG2;
+    let n = (slots as f64 * LOADED_FRACTION) as usize;
+    let keys = bench_keys(n, 7);
+    let aliens = bench_keys(n, 0xa11e4);
+    let filter = loaded(filter, &keys);
+
+    let mut g = c.benchmark_group("lookup/positive");
+    g.bench_function(BenchmarkId::from_parameter(label), |b| {
+        let mut i = 0usize;
+        b.iter(|| {
+            i = (i + 1) % n;
+            std::hint::black_box(filter.contains(&keys[i]))
+        });
+    });
+    g.finish();
+
+    let mut g = c.benchmark_group("lookup/negative");
+    g.bench_function(BenchmarkId::from_parameter(label), |b| {
+        let mut i = 0usize;
+        b.iter(|| {
+            i = (i + 1) % n;
+            std::hint::black_box(filter.contains(&aliens[i]))
+        });
+    });
+    g.finish();
+}
+
+fn lookup_benches(c: &mut Criterion) {
+    bench_lookups(c, "CF", CuckooFilter::new(config()).unwrap());
+    bench_lookups(c, "VCF", VerticalCuckooFilter::new(config()).unwrap());
+    bench_lookups(
+        c,
+        "IVCF3",
+        VerticalCuckooFilter::with_mask_ones(config(), 3).unwrap(),
+    );
+    bench_lookups(c, "DVCF_r0.5", Dvcf::with_r(config(), 0.5).unwrap());
+    bench_lookups(c, "DCF", DaryCuckooFilter::new(config(), 4).unwrap());
+    bench_lookups(
+        c,
+        "8-VCF",
+        KVcf::new(config().with_fingerprint_bits(16), 8).unwrap(),
+    );
+    bench_lookups(
+        c,
+        "BF",
+        BloomFilter::new(BloomConfig::for_items(1 << BENCH_SLOTS_LOG2, 5e-4)).unwrap(),
+    );
+    bench_lookups(c, "QF", QuotientFilter::new(BENCH_SLOTS_LOG2, 13).unwrap());
+    bench_lookups(
+        c,
+        "VF",
+        VacuumFilter::new((1 << (BENCH_SLOTS_LOG2 - 2)) + 192, 64, 4, 14, 500, 42).unwrap(),
+    );
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = lookup_benches
+}
+criterion_main!(benches);

@@ -1,0 +1,95 @@
+//! Ablation for the paper's Section III-C claim that generalized vertical
+//! hashing can replace the `d` independent hash computations of classic
+//! sketches: Count-Min update/query cost, classic vs vertical indexing.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use vcf_baselines::{BloomConfig, BloomFilter};
+use vcf_bench::bench_keys;
+use vcf_sketches::{ClassicCountMin, CountMin, VerticalBloomFilter, VerticalCountMin};
+use vcf_traits::Filter;
+
+const WIDTH: usize = 1 << 14;
+
+fn sketch_benches(c: &mut Criterion) {
+    let keys = bench_keys(4096, 7);
+
+    for depth in [4usize, 8] {
+        let mut g = c.benchmark_group(format!("sketch/update/d{depth}"));
+        g.bench_function(BenchmarkId::from_parameter("classic"), |b| {
+            let mut sketch = ClassicCountMin::new(WIDTH, depth, 42).unwrap();
+            let mut i = 0usize;
+            b.iter(|| {
+                i = (i + 1) % keys.len();
+                sketch.increment(&keys[i], 1);
+            });
+        });
+        g.bench_function(BenchmarkId::from_parameter("vertical"), |b| {
+            let mut sketch = VerticalCountMin::new(WIDTH, depth, 42).unwrap();
+            let mut i = 0usize;
+            b.iter(|| {
+                i = (i + 1) % keys.len();
+                sketch.increment(&keys[i], 1);
+            });
+        });
+        g.finish();
+
+        let mut g = c.benchmark_group(format!("sketch/query/d{depth}"));
+        let mut classic = ClassicCountMin::new(WIDTH, depth, 42).unwrap();
+        let mut vertical = VerticalCountMin::new(WIDTH, depth, 42).unwrap();
+        for key in &keys {
+            classic.increment(key, 1);
+            vertical.increment(key, 1);
+        }
+        g.bench_function(BenchmarkId::from_parameter("classic"), |b| {
+            let mut i = 0usize;
+            b.iter(|| {
+                i = (i + 1) % keys.len();
+                std::hint::black_box(classic.estimate(&keys[i]))
+            });
+        });
+        g.bench_function(BenchmarkId::from_parameter("vertical"), |b| {
+            let mut i = 0usize;
+            b.iter(|| {
+                i = (i + 1) % keys.len();
+                std::hint::black_box(vertical.estimate(&keys[i]))
+            });
+        });
+        g.finish();
+    }
+}
+
+fn bloom_benches(c: &mut Criterion) {
+    let n = 1 << 14;
+    let keys = bench_keys(n, 7);
+
+    let mut classic = BloomFilter::new(BloomConfig::for_items(n, 1e-3)).unwrap();
+    let mut vertical = VerticalBloomFilter::for_items(n, 1e-3, 42).unwrap();
+    for key in &keys {
+        let _ = classic.insert(key);
+        vertical.insert(key);
+    }
+
+    let mut g = c.benchmark_group("sketch/bloom_lookup");
+    g.bench_function(BenchmarkId::from_parameter("classic(2-hash)"), |b| {
+        let mut i = 0usize;
+        b.iter(|| {
+            i = (i + 1) % n;
+            std::hint::black_box(classic.contains(&keys[i]))
+        });
+    });
+    g.bench_function(BenchmarkId::from_parameter("vertical(1-hash)"), |b| {
+        let mut i = 0usize;
+        b.iter(|| {
+            i = (i + 1) % n;
+            std::hint::black_box(vertical.contains(&keys[i]))
+        });
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = sketch_benches, bloom_benches
+}
+criterion_main!(benches);

@@ -1,0 +1,46 @@
+//! Shared helpers for the Criterion benchmark suite.
+//!
+//! The benches complement the `vcf-repro` harness: the harness regenerates
+//! the paper's tables and figures end-to-end (whole fills, averaged wall
+//! clock), while these Criterion benches measure individual operations
+//! with statistical rigor and concrete (non-`dyn`) types, one bench target
+//! per table/figure family:
+//!
+//! * `insert_throughput` — Table III "IT" / Fig. 7 per-insert cost.
+//! * `lookup_throughput` — Table III "QT" / Fig. 6 positive & negative.
+//! * `delete_throughput` — deletion cost across the family.
+//! * `hash_functions`   — Table IV's FNV / Murmur3 / DJB2 comparison.
+//! * `eviction_cost`    — Fig. 8's kick cascades near full load.
+//! * `kvcf_scaling`     — Table V's k sweep.
+//! * `churn_online`     — the paper's motivating online insert/delete mix.
+
+#![forbid(unsafe_code)]
+
+use vcf_workloads::KeyStream;
+
+/// Default bench filter size: `2^14` slots keeps each iteration fast while
+/// still being large enough to exercise eviction cascades.
+pub const BENCH_SLOTS_LOG2: u32 = 14;
+
+/// Generates `n` deterministic unique keys for benchmarking.
+pub fn bench_keys(n: usize, seed: u64) -> Vec<Vec<u8>> {
+    KeyStream::new(seed).take_vec(n)
+}
+
+/// Fill fraction used for "loaded filter" benches (high enough that
+/// cuckoo relocations matter, low enough that every insert succeeds).
+pub const LOADED_FRACTION: f64 = 0.90;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keys_are_deterministic_and_unique() {
+        let a = bench_keys(1000, 1);
+        let b = bench_keys(1000, 1);
+        assert_eq!(a, b);
+        let set: std::collections::HashSet<_> = a.iter().collect();
+        assert_eq!(set.len(), 1000);
+    }
+}

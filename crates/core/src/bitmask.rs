@@ -1,0 +1,304 @@
+//! Complementary bitmask pairs for vertical hashing.
+
+use vcf_traits::BuildError;
+
+/// A pair of complementary bitmasks `(bm1, bm2)` over a `domain_bits`-wide
+/// window, the knob behind vertical hashing and the IVCF trade-off.
+///
+/// Theorem 1 of the paper requires `bm1 = ¬bm2` (over the mask domain) for
+/// the four candidate buckets to be mutually derivable. The *shape* of
+/// `bm1` — specifically how many one-bits it has — controls the
+/// probability `P` (the paper's `r`) that an item really receives four
+/// distinct candidates rather than collapsing to two (Equ. 8):
+///
+/// ```text
+/// P = 1 − (2^l + 2^(f−l) − 1) / 2^f ,   l = number of 0s in bm1
+/// ```
+///
+/// `IVCF_i` is exactly the VCF built from [`MaskPair::with_ones`]`(i, f)`.
+/// The balanced split (`i = f/2`) maximizes `P` and is the paper's
+/// standard VCF.
+///
+/// # Examples
+///
+/// ```
+/// use vcf_core::MaskPair;
+///
+/// let masks = MaskPair::balanced(14)?;
+/// assert_eq!(masks.bm1() & masks.bm2(), 0);
+/// assert_eq!(masks.bm1() | masks.bm2(), (1 << 14) - 1);
+/// // Balanced 7/7 split over 14 bits: the paper's r = 0.9844.
+/// assert!((masks.expected_r() - 0.9844).abs() < 1e-3);
+/// # Ok::<(), vcf_traits::BuildError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct MaskPair {
+    bm1: u64,
+    domain_bits: u32,
+}
+
+impl MaskPair {
+    /// Builds the standard VCF mask pair: `bm1` takes the low half of the
+    /// domain (`⌈f/2⌉` ones), `bm2` the high half.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when `domain_bits < 2` (both masks must be
+    /// non-empty) or `domain_bits > 63`.
+    pub fn balanced(domain_bits: u32) -> Result<Self, BuildError> {
+        Self::with_ones(domain_bits / 2, domain_bits)
+    }
+
+    /// Builds the `IVCF_i` mask pair: `bm1` has exactly `ones` one-bits
+    /// (placed in the low positions), `bm2` is its complement within the
+    /// domain.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error unless `1 ≤ ones < domain_bits ≤ 63`: with zero
+    /// ones (or all ones) one of the fragments is always empty and "VCF
+    /// will be degraded as CF" (Section IV-A) — construct a plain CF
+    /// instead.
+    pub fn with_ones(ones: u32, domain_bits: u32) -> Result<Self, BuildError> {
+        if !(2..=63).contains(&domain_bits) {
+            return Err(BuildError::InvalidConfig {
+                reason: format!("mask domain must be 2..=63 bits, got {domain_bits}"),
+            });
+        }
+        if ones == 0 || ones >= domain_bits {
+            return Err(BuildError::InvalidConfig {
+                reason: format!(
+                    "bm1 must have between 1 and {} one-bits within a {domain_bits}-bit \
+                     domain, got {ones} (all-zero or all-one bm1 degrades VCF to CF)",
+                    domain_bits - 1
+                ),
+            });
+        }
+        Ok(Self {
+            bm1: (1u64 << ones) - 1,
+            domain_bits,
+        })
+    }
+
+    /// Builds an `IVCF_i`-popcount pair with the one-bits of `bm1` spread
+    /// evenly across the domain (e.g. `0101…` for the balanced case)
+    /// instead of packed low. Equ. 8 predicts `P` from the popcount
+    /// alone; the `ablation` experiment verifies placement is irrelevant.
+    ///
+    /// # Errors
+    ///
+    /// Same domain/popcount requirements as [`MaskPair::with_ones`].
+    pub fn interleaved(ones: u32, domain_bits: u32) -> Result<Self, BuildError> {
+        if !(2..=63).contains(&domain_bits) {
+            return Err(BuildError::InvalidConfig {
+                reason: format!("mask domain must be 2..=63 bits, got {domain_bits}"),
+            });
+        }
+        if ones == 0 || ones >= domain_bits {
+            return Err(BuildError::InvalidConfig {
+                reason: format!(
+                    "bm1 must have between 1 and {} one-bits within a {domain_bits}-bit \
+                     domain, got {ones}",
+                    domain_bits - 1
+                ),
+            });
+        }
+        // Evenly spaced positions: bit ⌊j·domain/ones⌋ for j in 0..ones.
+        let mut bm1 = 0u64;
+        for j in 0..ones {
+            bm1 |= 1u64 << ((u64::from(j) * u64::from(domain_bits)) / u64::from(ones));
+        }
+        debug_assert_eq!(bm1.count_ones(), ones);
+        Ok(Self { bm1, domain_bits })
+    }
+
+    /// Builds a pair from an explicit `bm1`; `bm2` is derived as its
+    /// complement within the domain, enforcing Theorem 1 by construction.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when `bm1` has bits outside the domain, is zero,
+    /// or covers the whole domain.
+    pub fn from_bm1(bm1: u64, domain_bits: u32) -> Result<Self, BuildError> {
+        if !(2..=63).contains(&domain_bits) {
+            return Err(BuildError::InvalidConfig {
+                reason: format!("mask domain must be 2..=63 bits, got {domain_bits}"),
+            });
+        }
+        let domain = (1u64 << domain_bits) - 1;
+        if bm1 & !domain != 0 {
+            return Err(BuildError::InvalidConfig {
+                reason: format!("bm1 {bm1:#x} has bits outside the {domain_bits}-bit domain"),
+            });
+        }
+        if bm1 == 0 || bm1 == domain {
+            return Err(BuildError::InvalidConfig {
+                reason: "bm1 must be neither empty nor the full domain".into(),
+            });
+        }
+        Ok(Self { bm1, domain_bits })
+    }
+
+    /// The first bitmask.
+    #[inline]
+    pub fn bm1(&self) -> u64 {
+        self.bm1
+    }
+
+    /// The second bitmask, always `¬bm1` within the domain (Theorem 1).
+    #[inline]
+    pub fn bm2(&self) -> u64 {
+        !self.bm1 & self.domain_mask()
+    }
+
+    /// Width of the mask domain in bits.
+    #[inline]
+    pub fn domain_bits(&self) -> u32 {
+        self.domain_bits
+    }
+
+    /// All-ones mask over the domain.
+    #[inline]
+    pub fn domain_mask(&self) -> u64 {
+        (1u64 << self.domain_bits) - 1
+    }
+
+    /// Number of one-bits in `bm1` (the paper's `i` in `IVCF_i`).
+    #[inline]
+    pub fn ones(&self) -> u32 {
+        self.bm1.count_ones()
+    }
+
+    /// The paper's Equ. 8: probability that a uniformly random fingerprint
+    /// hash yields four *distinct* candidate buckets.
+    ///
+    /// With `l` zeros and `f − l` ones in `bm1` over an `f`-bit domain:
+    /// `P = 1 − (2^l + 2^(f−l) − 1) / 2^f`.
+    pub fn expected_r(&self) -> f64 {
+        let f = self.domain_bits as f64;
+        let l = (self.domain_bits - self.ones()) as f64;
+        1.0 - (2f64.powf(l) + 2f64.powf(f - l) - 1.0) / 2f64.powf(f)
+    }
+
+    /// Restricts the pair to a narrower domain (used when the bucket-index
+    /// space is smaller than the fingerprint-hash domain, so that mask
+    /// bits above the index range are not silently lost).
+    ///
+    /// Returns `None` when the restriction would leave either mask empty —
+    /// the caller should fall back to CF-style two-candidate hashing.
+    pub fn restricted_to(&self, index_bits: u32) -> Option<Self> {
+        if index_bits >= self.domain_bits {
+            return Some(*self);
+        }
+        let narrowed = self.bm1 & ((1u64 << index_bits) - 1);
+        MaskPair::from_bm1(narrowed, index_bits).ok()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn complementarity_theorem1() {
+        for ones in 1..14 {
+            let m = MaskPair::with_ones(ones, 14).unwrap();
+            assert_eq!(m.bm1() ^ m.bm2(), m.domain_mask(), "ones={ones}");
+            assert_eq!(m.bm1() & m.bm2(), 0, "ones={ones}");
+        }
+    }
+
+    #[test]
+    fn rejects_degenerate_masks() {
+        assert!(MaskPair::with_ones(0, 14).is_err());
+        assert!(MaskPair::with_ones(14, 14).is_err());
+        assert!(MaskPair::with_ones(1, 1).is_err());
+        assert!(MaskPair::from_bm1(0, 8).is_err());
+        assert!(MaskPair::from_bm1(0xff, 8).is_err());
+        assert!(MaskPair::from_bm1(0x100, 8).is_err());
+    }
+
+    #[test]
+    fn expected_r_matches_paper_f8_ladder() {
+        // Section IV-A: "P ≈ {0.49, 0.73, 0.84, 0.87} when f = 8"
+        // for i = 1..4 ones in bm1.
+        let expect = [0.49, 0.73, 0.84, 0.87];
+        for (i, &e) in expect.iter().enumerate() {
+            let p = MaskPair::with_ones(i as u32 + 1, 8).unwrap().expected_r();
+            assert!((p - e).abs() < 0.02, "i={} p={p} expected≈{e}", i + 1);
+        }
+    }
+
+    #[test]
+    fn expected_r_balanced_f14_is_0_9844() {
+        let p = MaskPair::balanced(14).unwrap().expected_r();
+        assert!((p - 0.98444).abs() < 1e-4, "got {p}");
+    }
+
+    #[test]
+    fn expected_r_balanced_f16_is_0_9922() {
+        // Section IV-A: "f = 16 and l = 8, then P ≈ 0.9922".
+        let p = MaskPair::balanced(16).unwrap().expected_r();
+        assert!((p - 0.9922).abs() < 1e-3, "got {p}");
+    }
+
+    #[test]
+    fn expected_r_monotone_in_balance() {
+        // For fixed f, moving the ones-count toward f/2 increases P.
+        let f = 14;
+        let mut last = 0.0;
+        for ones in 1..=7 {
+            let p = MaskPair::with_ones(ones, f).unwrap().expected_r();
+            assert!(p > last, "P must increase toward the balanced split");
+            last = p;
+        }
+    }
+
+    #[test]
+    fn interleaved_spreads_ones() {
+        let m = MaskPair::interleaved(7, 14).unwrap();
+        assert_eq!(m.ones(), 7);
+        assert_eq!(m.bm1() & m.bm2(), 0);
+        assert_eq!(m.bm1() | m.bm2(), m.domain_mask());
+        // Balanced interleave over 14 bits is the alternating pattern.
+        assert_eq!(m.bm1(), 0b01_0101_0101_0101);
+    }
+
+    #[test]
+    fn interleaved_r_equals_low_ones_r() {
+        // Equ. 8 depends on the popcount only.
+        for ones in 1..14 {
+            let low = MaskPair::with_ones(ones, 14).unwrap().expected_r();
+            let spread = MaskPair::interleaved(ones, 14).unwrap().expected_r();
+            assert!((low - spread).abs() < 1e-12, "ones={ones}");
+        }
+    }
+
+    #[test]
+    fn interleaved_rejects_degenerate() {
+        assert!(MaskPair::interleaved(0, 14).is_err());
+        assert!(MaskPair::interleaved(14, 14).is_err());
+        assert!(MaskPair::interleaved(1, 64).is_err());
+    }
+
+    #[test]
+    fn restriction_keeps_complementarity() {
+        let m = MaskPair::balanced(14).unwrap();
+        let r = m.restricted_to(8).unwrap();
+        assert_eq!(r.domain_bits(), 8);
+        assert_eq!(r.bm1() ^ r.bm2(), r.domain_mask());
+    }
+
+    #[test]
+    fn restriction_can_fail_to_cf() {
+        // bm1 occupies only high bits: restricting to the low bits empties it.
+        let m = MaskPair::from_bm1(0x3f80, 14).unwrap(); // ones in bits 7..14
+        assert!(m.restricted_to(7).is_none());
+    }
+
+    #[test]
+    fn restriction_is_identity_when_domain_fits() {
+        let m = MaskPair::balanced(14).unwrap();
+        assert_eq!(m.restricted_to(20), Some(m));
+    }
+}

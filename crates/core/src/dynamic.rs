@@ -1,0 +1,317 @@
+//! A dynamically growing Vertical Cuckoo Filter.
+//!
+//! Plain cuckoo filters are fixed-capacity: past the achievable load
+//! factor, insertions fail. The Dynamic Cuckoo Filter (Chen et al., ICNP
+//! 2017 — reference [12] of the VCF paper) solves this by chaining
+//! homogeneous filters and appending a fresh one when the current fills;
+//! the cost is that lookups must consult every link. `DynamicVcf` applies
+//! the same construction to VCFs, inheriting vertical hashing's high
+//! per-link load factor (fewer, fuller links than a CF chain — the two
+//! effects compound).
+
+use crate::config::CuckooConfig;
+use crate::vcf::VerticalCuckooFilter;
+use vcf_traits::{BuildError, Counters, Filter, InsertError, Stats};
+
+/// A chain of Vertical Cuckoo Filters that grows on demand.
+///
+/// Inserts go to the newest link, falling back to older links (they may
+/// have gained space through deletions) before growing the chain. Lookups
+/// and deletions scan all links — the paper's noted trade-off for dynamic
+/// filters ("each lookup needs to check all linked CFs", Section II-B).
+///
+/// # Examples
+///
+/// ```
+/// use vcf_core::{CuckooConfig, DynamicVcf};
+/// use vcf_traits::Filter;
+///
+/// // Starts with one 2^6-bucket link and grows as needed.
+/// let mut filter = DynamicVcf::new(CuckooConfig::new(1 << 6))?;
+/// for i in 0u32..2000 {
+///     filter.insert(&i.to_le_bytes())?; // never fails: the chain grows
+/// }
+/// assert!(filter.links() > 1);
+/// assert!(filter.contains(&1999u32.to_le_bytes()));
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct DynamicVcf {
+    links: Vec<VerticalCuckooFilter>,
+    template: CuckooConfig,
+    max_links: usize,
+    counters: Counters,
+}
+
+impl DynamicVcf {
+    /// Default cap on chain length — a safety valve, not a sizing hint.
+    pub const DEFAULT_MAX_LINKS: usize = 64;
+
+    /// Builds a dynamic filter whose links all use `template`'s geometry.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`BuildError`] for invalid template geometry.
+    pub fn new(template: CuckooConfig) -> Result<Self, BuildError> {
+        Self::with_max_links(template, Self::DEFAULT_MAX_LINKS)
+    }
+
+    /// Builds a dynamic filter that refuses to grow past `max_links`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`BuildError`] for invalid geometry or `max_links == 0`.
+    pub fn with_max_links(template: CuckooConfig, max_links: usize) -> Result<Self, BuildError> {
+        if max_links == 0 {
+            return Err(BuildError::InvalidConfig {
+                reason: "dynamic filter needs at least one link".into(),
+            });
+        }
+        let first = VerticalCuckooFilter::new(template)?;
+        Ok(Self {
+            links: vec![first],
+            template,
+            max_links,
+            counters: Counters::new(),
+        })
+    }
+
+    /// Number of links in the chain.
+    pub fn links(&self) -> usize {
+        self.links.len()
+    }
+
+    /// Per-link load factors, oldest first (diagnostic).
+    pub fn link_load_factors(&self) -> Vec<f64> {
+        self.links.iter().map(Filter::load_factor).collect()
+    }
+
+    fn grow(&mut self) -> Result<(), InsertError> {
+        if self.links.len() >= self.max_links {
+            return Err(InsertError::Full { kicks: 0 });
+        }
+        let config = CuckooConfig {
+            seed: self
+                .template
+                .seed
+                .wrapping_add(self.links.len() as u64 * 0x9e37),
+            ..self.template
+        };
+        let link = VerticalCuckooFilter::new(config).expect("template validated at construction");
+        self.links.push(link);
+        Ok(())
+    }
+}
+
+impl Filter for DynamicVcf {
+    /// Inserts into the newest link first, then older links, then grows.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`InsertError::Full`] only when the chain has hit its
+    /// configured `max_links` and every link is full.
+    fn insert(&mut self, item: &[u8]) -> Result<(), InsertError> {
+        self.counters.record_insert(0, 1);
+        // Newest link is the least loaded; try it first.
+        for index in (0..self.links.len()).rev() {
+            if self.links[index].insert(item).is_ok() {
+                return Ok(());
+            }
+        }
+        self.grow()
+            .inspect_err(|_| self.counters.add_failed_insert())?;
+        let newest = self.links.last_mut().expect("just grew");
+        newest
+            .insert(item)
+            .inspect_err(|_| self.counters.add_failed_insert())
+    }
+
+    /// Checks every link — the dynamic-filter lookup penalty.
+    fn contains(&self, item: &[u8]) -> bool {
+        self.counters.record_lookup(0, self.links.len() as u64);
+        self.links.iter().any(|link| link.contains(item))
+    }
+
+    /// Deletes from the first link holding a matching fingerprint.
+    fn delete(&mut self, item: &[u8]) -> bool {
+        self.counters.record_delete(0, self.links.len() as u64);
+        self.links.iter_mut().any(|link| link.delete(item))
+    }
+
+    fn len(&self) -> usize {
+        self.links.iter().map(Filter::len).sum()
+    }
+
+    fn capacity(&self) -> usize {
+        self.links.iter().map(Filter::capacity).sum()
+    }
+
+    fn stats(&self) -> Stats {
+        // Chain-level ops plus the per-link internals (probes, kicks).
+        self.links
+            .iter()
+            .map(Filter::stats)
+            .fold(self.counters.snapshot(), |acc, s| {
+                let mut merged = acc + s;
+                // Avoid double-counting op calls: links count their own
+                // insert/lookup/delete calls; the chain already recorded
+                // one logical call. Keep the chain's call counts.
+                merged.inserts.calls = acc.inserts.calls;
+                merged.lookups.calls = acc.lookups.calls;
+                merged.deletes.calls = acc.deletes.calls;
+                merged.failed_inserts = acc.failed_inserts;
+                merged
+            })
+    }
+
+    fn reset_stats(&mut self) {
+        self.counters.reset();
+        for link in &mut self.links {
+            link.reset_stats();
+        }
+    }
+
+    fn name(&self) -> String {
+        format!("DynVCF[{}]", self.links.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key(i: u64) -> Vec<u8> {
+        format!("dyn-{i}").into_bytes()
+    }
+
+    fn small_template() -> CuckooConfig {
+        CuckooConfig::new(1 << 6).with_seed(5) // 256 slots per link
+    }
+
+    #[test]
+    fn grows_past_single_link_capacity() {
+        let mut f = DynamicVcf::new(small_template()).unwrap();
+        let single = 1usize << 8;
+        for i in 0..(single * 4) as u64 {
+            f.insert(&key(i)).unwrap();
+        }
+        assert!(
+            f.links() >= 4,
+            "chain should have grown: {} links",
+            f.links()
+        );
+        assert_eq!(f.len(), single * 4);
+        for i in 0..(single * 4) as u64 {
+            assert!(f.contains(&key(i)), "item {i} lost across links");
+        }
+    }
+
+    #[test]
+    fn early_links_fill_high_before_growth() {
+        let mut f = DynamicVcf::new(small_template()).unwrap();
+        for i in 0..600u64 {
+            f.insert(&key(i)).unwrap();
+        }
+        let loads = f.link_load_factors();
+        assert!(
+            loads[0] > 0.95,
+            "first link should be nearly full: {loads:?}"
+        );
+    }
+
+    #[test]
+    fn delete_works_across_links() {
+        let mut f = DynamicVcf::new(small_template()).unwrap();
+        for i in 0..700u64 {
+            f.insert(&key(i)).unwrap();
+        }
+        for i in 0..700u64 {
+            assert!(f.delete(&key(i)), "failed to delete {i}");
+        }
+        assert_eq!(f.len(), 0);
+    }
+
+    #[test]
+    fn deletions_are_refilled_before_growth() {
+        let mut f = DynamicVcf::new(small_template()).unwrap();
+        for i in 0..500u64 {
+            f.insert(&key(i)).unwrap();
+        }
+        let links_before = f.links();
+        // Free up space in old links and reinsert an equal amount.
+        for i in 0..100u64 {
+            assert!(f.delete(&key(i)));
+        }
+        for i in 1000..1100u64 {
+            f.insert(&key(i)).unwrap();
+        }
+        assert_eq!(
+            f.links(),
+            links_before,
+            "freed space must be reused, not grown past"
+        );
+    }
+
+    #[test]
+    fn max_links_is_enforced() {
+        let mut f = DynamicVcf::with_max_links(small_template(), 2).unwrap();
+        let mut stored = 0u64;
+        let mut failed = false;
+        for i in 0..2000u64 {
+            match f.insert(&key(i)) {
+                Ok(()) => stored += 1,
+                Err(InsertError::Full { .. }) => {
+                    failed = true;
+                    break;
+                }
+                Err(other) => panic!("unexpected error: {other}"),
+            }
+        }
+        assert!(failed, "2-link chain must eventually refuse");
+        assert!(stored >= 2 * 240, "both links should fill first: {stored}");
+        assert_eq!(f.links(), 2);
+    }
+
+    #[test]
+    fn rejects_zero_max_links() {
+        assert!(DynamicVcf::with_max_links(small_template(), 0).is_err());
+    }
+
+    #[test]
+    fn name_reports_chain_length() {
+        let mut f = DynamicVcf::new(small_template()).unwrap();
+        assert_eq!(f.name(), "DynVCF[1]");
+        for i in 0..600u64 {
+            f.insert(&key(i)).unwrap();
+        }
+        assert!(f.name().starts_with("DynVCF["));
+        assert!(f.links() > 1);
+    }
+
+    #[test]
+    fn stats_count_logical_calls_once() {
+        let mut f = DynamicVcf::new(small_template()).unwrap();
+        for i in 0..300u64 {
+            f.insert(&key(i)).unwrap();
+        }
+        f.contains(&key(0));
+        let s = f.stats();
+        assert_eq!(s.inserts.calls, 300);
+        assert_eq!(s.lookups.calls, 1);
+    }
+
+    #[test]
+    fn duplicate_multiset_semantics_across_links() {
+        let mut f = DynamicVcf::new(small_template()).unwrap();
+        // Saturate link 1 so duplicates spread across links.
+        for i in 0..400u64 {
+            f.insert(&key(i)).unwrap();
+        }
+        f.insert(b"dup").unwrap();
+        f.insert(b"dup").unwrap();
+        assert!(f.delete(b"dup"));
+        assert!(f.contains(b"dup"), "second copy must survive");
+        assert!(f.delete(b"dup"));
+        assert!(!f.contains(b"dup"));
+    }
+}

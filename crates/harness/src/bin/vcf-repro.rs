@@ -1,0 +1,187 @@
+//! `vcf-repro` — regenerate the paper's tables and figures.
+//!
+//! ```text
+//! vcf-repro <experiment|all> [options]
+//!
+//! Experiments:
+//!   table1 fig4 table3 fig5 fig6 fig7 fig8 fig9 table4 table5 model
+//!
+//! Options:
+//!   --paper            run at the paper's scale (2^20 slots, more reps)
+//!   --slots-log2 <N>   log2 of the filter slot count (default 16)
+//!   --reps <N>         repetitions per data point (default 3)
+//!   --seed <N>         base PRNG seed
+//!   --csv <DIR>        write CSVs into DIR (default ./results)
+//!   --no-csv           disable CSV output
+//! ```
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+use vcf_harness::experiments::{run_by_name, ALL};
+use vcf_harness::ExpOptions;
+
+fn usage() -> String {
+    format!(
+        "usage: vcf-repro <experiment|all> [--paper] [--slots-log2 N] [--reps N] \
+         [--seed N] [--csv DIR] [--no-csv]\nexperiments: {}",
+        ALL.join(", ")
+    )
+}
+
+fn parse_args(args: &[String]) -> Result<(Vec<String>, ExpOptions), String> {
+    let mut opts = ExpOptions::default();
+    let mut names = Vec::new();
+    let mut iter = args.iter().peekable();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--paper" => opts.paper_scale = true,
+            "--no-csv" => opts.csv_dir = None,
+            "--slots-log2" | "--reps" | "--seed" | "--csv" => {
+                let value = iter
+                    .next()
+                    .ok_or_else(|| format!("{arg} requires a value"))?;
+                match arg.as_str() {
+                    "--slots-log2" => {
+                        opts.slots_log2 = value
+                            .parse()
+                            .map_err(|_| format!("bad --slots-log2 value '{value}'"))?;
+                        if !(6..=26).contains(&opts.slots_log2) {
+                            return Err("--slots-log2 must be in 6..=26".into());
+                        }
+                    }
+                    "--reps" => {
+                        opts.reps = value
+                            .parse()
+                            .map_err(|_| format!("bad --reps value '{value}'"))?;
+                        if opts.reps == 0 {
+                            return Err("--reps must be positive".into());
+                        }
+                    }
+                    "--seed" => {
+                        opts.seed = value
+                            .parse()
+                            .map_err(|_| format!("bad --seed value '{value}'"))?;
+                    }
+                    "--csv" => opts.csv_dir = Some(PathBuf::from(value)),
+                    _ => unreachable!(),
+                }
+            }
+            "--help" | "-h" => return Err(usage()),
+            name if !name.starts_with('-') => names.push(name.to_owned()),
+            other => return Err(format!("unknown option '{other}'\n{}", usage())),
+        }
+    }
+    if names.is_empty() {
+        return Err(usage());
+    }
+    if names.iter().any(|n| n == "all") {
+        names = ALL.iter().map(|s| (*s).to_owned()).collect();
+    }
+    Ok((names, opts))
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (names, opts) = match parse_args(&args) {
+        Ok(parsed) => parsed,
+        Err(message) => {
+            eprintln!("{message}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    println!(
+        "# vcf-repro: theta=2^{} slots, {} reps, seed {}{}",
+        opts.theta(),
+        opts.repetitions(),
+        opts.seed,
+        if opts.paper_scale {
+            " (paper scale)"
+        } else {
+            ""
+        }
+    );
+
+    for name in &names {
+        println!("\n### experiment: {name}\n");
+        let report = match run_by_name(name, &opts) {
+            Ok(report) => report,
+            Err(message) => {
+                eprintln!("{message}");
+                return ExitCode::FAILURE;
+            }
+        };
+        if let Err(error) = report.emit(opts.csv_dir.as_deref()) {
+            eprintln!("failed to write CSV: {error}");
+            return ExitCode::FAILURE;
+        }
+    }
+    ExitCode::SUCCESS
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(list: &[&str]) -> Vec<String> {
+        list.iter().map(|s| (*s).to_owned()).collect()
+    }
+
+    #[test]
+    fn parses_single_experiment() {
+        let (names, opts) = parse_args(&args(&["fig8"])).unwrap();
+        assert_eq!(names, vec!["fig8"]);
+        assert!(!opts.paper_scale);
+    }
+
+    #[test]
+    fn all_expands_to_every_experiment() {
+        let (names, _) = parse_args(&args(&["all"])).unwrap();
+        assert_eq!(names.len(), ALL.len());
+    }
+
+    #[test]
+    fn parses_options() {
+        let (names, opts) = parse_args(&args(&[
+            "table3",
+            "--paper",
+            "--slots-log2",
+            "18",
+            "--reps",
+            "5",
+            "--seed",
+            "9",
+            "--csv",
+            "out",
+        ]))
+        .unwrap();
+        assert_eq!(names, vec!["table3"]);
+        assert!(opts.paper_scale);
+        assert_eq!(opts.slots_log2, 18);
+        assert_eq!(opts.reps, 5);
+        assert_eq!(opts.seed, 9);
+        assert_eq!(opts.csv_dir.unwrap().to_str().unwrap(), "out");
+    }
+
+    #[test]
+    fn no_csv_disables_output() {
+        let (_, opts) = parse_args(&args(&["fig4", "--no-csv"])).unwrap();
+        assert!(opts.csv_dir.is_none());
+    }
+
+    #[test]
+    fn rejects_bad_input() {
+        assert!(parse_args(&args(&[])).is_err());
+        assert!(parse_args(&args(&["fig4", "--slots-log2"])).is_err());
+        assert!(parse_args(&args(&["fig4", "--slots-log2", "40"])).is_err());
+        assert!(parse_args(&args(&["fig4", "--reps", "0"])).is_err());
+        assert!(parse_args(&args(&["fig4", "--bogus"])).is_err());
+        assert!(parse_args(&args(&["--help"])).is_err());
+    }
+
+    #[test]
+    fn multiple_experiments_preserved_in_order() {
+        let (names, _) = parse_args(&args(&["fig4", "fig8", "table5"])).unwrap();
+        assert_eq!(names, vec!["fig4", "fig8", "table5"]);
+    }
+}

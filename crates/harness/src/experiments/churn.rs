@@ -1,0 +1,121 @@
+//! The paper's motivating scenario as a first-class experiment: sustained
+//! online churn (delete-one/insert-one with interleaved lookups) at high
+//! occupancy, across the whole filter line-up.
+//!
+//! Not a numbered figure in the paper — Section I argues it qualitatively
+//! — but it is *the* workload VCF exists for, so the harness measures it:
+//! operations per second and relocations per churn round, at 90 % steady
+//! occupancy.
+
+use crate::factory::FilterSpec;
+use crate::report::{Cell, Report, Table};
+use crate::timing::{time, Summary};
+use crate::ExpOptions;
+use vcf_core::CuckooConfig;
+use vcf_workloads::{ChurnConfig, ChurnTrace, Op};
+
+/// Runs the experiment.
+pub fn run(opts: &ExpOptions) -> Report {
+    let theta = opts.theta().min(16);
+    let slots = 1usize << theta;
+    let reps = opts.repetitions().max(1);
+    let rounds = if opts.paper_scale { 200_000 } else { 50_000 };
+
+    let mut table = Table::new(
+        &format!("Churn: sustained online ops at 90% occupancy (2^{theta} slots, {rounds} rounds)"),
+        &["filter", "Mops/s", "kicks/round", "false negatives"],
+    );
+
+    let specs = [
+        FilterSpec::cf(),
+        FilterSpec::dcf(),
+        FilterSpec::ivcf(3, 14),
+        FilterSpec::vcf(14),
+        FilterSpec::dvcf_j(4),
+        FilterSpec::dvcf_j(8),
+    ];
+
+    for spec in specs {
+        let mut throughput = Vec::new();
+        let mut kicks = Vec::new();
+        let mut lost = 0u64;
+        for rep in 0..reps {
+            let seed = opts.seed.wrapping_add(rep as u64);
+            let trace = ChurnTrace::generate(ChurnConfig {
+                working_set: slots * 90 / 100,
+                rounds,
+                lookups_per_round: 2,
+                positive_fraction: 0.5,
+                seed,
+            });
+            let config = CuckooConfig::with_total_slots(slots).with_seed(seed);
+            let mut filter = spec.build(config).expect("lineup spec builds");
+
+            // Warm-up fill (untimed).
+            let warmup = trace.config().working_set;
+            for op in trace.ops().iter().take(warmup) {
+                if let Op::Insert(key) = op {
+                    let _ = filter.insert(key);
+                }
+            }
+            filter.reset_stats();
+
+            let churn_ops = &trace.ops()[warmup..];
+            let (misses, seconds) = time(|| {
+                let mut misses = 0u64;
+                for op in churn_ops {
+                    match op {
+                        Op::Insert(key) => {
+                            let _ = filter.insert(key);
+                        }
+                        Op::Delete(key) => {
+                            filter.delete(key);
+                        }
+                        Op::Lookup {
+                            key,
+                            expected_present,
+                        } => {
+                            if *expected_present && !filter.contains(key) {
+                                misses += 1;
+                            }
+                        }
+                    }
+                }
+                misses
+            });
+            lost += misses;
+            throughput.push(churn_ops.len() as f64 / seconds / 1e6);
+            kicks.push(filter.stats().kicks as f64 / rounds as f64);
+        }
+        table.row(vec![
+            Cell::from(spec.label.clone()),
+            Cell::Float(Summary::of(&throughput).mean, 2),
+            Cell::Float(Summary::of(&kicks).mean, 3),
+            Cell::Int(lost as i64),
+        ]);
+    }
+
+    let mut report = Report::new();
+    report.push(table);
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn churn_experiment_reports_zero_false_negatives() {
+        let opts = ExpOptions {
+            slots_log2: 11,
+            reps: 1,
+            csv_dir: None,
+            ..Default::default()
+        };
+        let report = run(&opts);
+        for line in report.tables()[0].to_csv().lines().skip(1) {
+            let lost: i64 = line.split(',').next_back().unwrap().parse().unwrap();
+            assert_eq!(lost, 0, "false negatives in churn: {line}");
+        }
+    }
+}

@@ -1,0 +1,83 @@
+//! Fig. 4 — load factor achieved with different fingerprint lengths, in
+//! tables with `2^θ` slots (paper: `2^20`).
+//!
+//! Expected shape: load factor rises with `f` for both filters; VCF stays
+//! above CF everywhere; VCF reaches ≈98 % already at `f = 7` and ≈100 %
+//! by `f = 18`.
+
+use crate::experiments::fill_point;
+use crate::factory::FilterSpec;
+use crate::report::{Cell, Report, Table};
+use crate::ExpOptions;
+
+/// Fingerprint lengths swept (the paper's x-axis runs to 18).
+pub const FINGERPRINT_BITS: [u32; 7] = [6, 8, 10, 12, 14, 16, 18];
+
+/// Runs the experiment.
+pub fn run(opts: &ExpOptions) -> Report {
+    let theta = opts.theta();
+    let mut table = Table::new(
+        &format!("Fig 4: load factor vs fingerprint length (2^{theta} slots)"),
+        &["f (bits)", "CF LF(%)", "VCF LF(%)"],
+    );
+
+    for f in FINGERPRINT_BITS {
+        let cf = fill_point(&FilterSpec::cf(), theta, opts, |c| {
+            c.with_fingerprint_bits(f)
+        });
+        let vcf = fill_point(&FilterSpec::vcf(f), theta, opts, |c| {
+            c.with_fingerprint_bits(f)
+        });
+        table.row(vec![
+            Cell::Int(i64::from(f)),
+            Cell::Float(cf.load_factor.mean * 100.0, 2),
+            Cell::Float(vcf.load_factor.mean * 100.0, 2),
+        ]);
+    }
+
+    let mut report = Report::new();
+    report.push(table);
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vcf_dominates_cf_at_every_f() {
+        let opts = ExpOptions {
+            slots_log2: 12,
+            reps: 1,
+            csv_dir: None,
+            ..Default::default()
+        };
+        let theta = opts.theta();
+        for f in [8u32, 14] {
+            let cf = fill_point(&FilterSpec::cf(), theta, &opts, |c| {
+                c.with_fingerprint_bits(f)
+            });
+            let vcf = fill_point(&FilterSpec::vcf(f), theta, &opts, |c| {
+                c.with_fingerprint_bits(f)
+            });
+            assert!(
+                vcf.load_factor.mean >= cf.load_factor.mean - 0.005,
+                "f={f}: VCF {} must not trail CF {}",
+                vcf.load_factor.mean,
+                cf.load_factor.mean
+            );
+        }
+    }
+
+    #[test]
+    fn report_has_one_row_per_f() {
+        let opts = ExpOptions {
+            slots_log2: 10,
+            reps: 1,
+            csv_dir: None,
+            ..Default::default()
+        };
+        let report = run(&opts);
+        assert_eq!(report.tables()[0].len(), FINGERPRINT_BITS.len());
+    }
+}

@@ -1,0 +1,147 @@
+//! Fig. 5 — load factor for IVCFs and DVCFs with respect to filter size,
+//! and average load factor vs `r`.
+//!
+//! Expected shape: load factor increases monotonically with `r`
+//! (Fig. 5(c)); IVCF ≥ DVCF at equal `r`; DVCF's load factor degrades at
+//! small filter sizes while IVCF's does not (Fig. 5(a) vs 5(b)).
+
+use crate::experiments::{fill_point, FillPoint};
+use crate::factory::FilterSpec;
+use crate::report::{Cell, Report, Table};
+use crate::ExpOptions;
+
+/// The filter-size sweep (`θ`: log2 of slot count). Paper: 10–23; quick
+/// mode trims the top end for runtime.
+pub fn sizes(opts: &ExpOptions) -> Vec<u32> {
+    if opts.paper_scale {
+        (10..=20).collect()
+    } else {
+        vec![10, 12, 14, opts.slots_log2.clamp(14, 20)]
+    }
+}
+
+pub(crate) fn sweep(specs: &[FilterSpec], opts: &ExpOptions) -> Vec<Vec<FillPoint>> {
+    let sizes = sizes(opts);
+    specs
+        .iter()
+        .map(|spec| {
+            sizes
+                .iter()
+                .map(|&s| fill_point(spec, s, opts, |c| c))
+                .collect()
+        })
+        .collect()
+}
+
+fn size_table(title: &str, specs: &[FilterSpec], points: &[Vec<FillPoint>]) -> Table {
+    let mut headers: Vec<String> = vec!["theta".into()];
+    headers.extend(specs.iter().map(|s| format!("{} LF(%)", s.label)));
+    let header_refs: Vec<&str> = headers.iter().map(String::as_str).collect();
+    let mut table = Table::new(title, &header_refs);
+    let n_sizes = points[0].len();
+    for i in 0..n_sizes {
+        let mut row = vec![Cell::Int(i64::from(points[0][i].slots_log2))];
+        for spec_points in points {
+            row.push(Cell::Float(spec_points[i].load_factor.mean * 100.0, 2));
+        }
+        table.row(row);
+    }
+    table
+}
+
+/// Runs the experiment.
+pub fn run(opts: &ExpOptions) -> Report {
+    let mut report = Report::new();
+
+    // (a) IVCF ladder + CF.
+    let mut ivcf_specs = vec![FilterSpec::cf()];
+    ivcf_specs.extend(FilterSpec::ivcf_ladder(14));
+    let ivcf_points = sweep(&ivcf_specs, opts);
+    report.push(size_table(
+        "Fig 5a: IVCF load factor vs filter size",
+        &ivcf_specs,
+        &ivcf_points,
+    ));
+
+    // (b) DVCF ladder + CF.
+    let mut dvcf_specs = vec![FilterSpec::cf()];
+    dvcf_specs.extend(FilterSpec::dvcf_ladder());
+    let dvcf_points = sweep(&dvcf_specs, opts);
+    report.push(size_table(
+        "Fig 5b: DVCF load factor vs filter size",
+        &dvcf_specs,
+        &dvcf_points,
+    ));
+
+    // (c) average load factor over all sizes, as a function of r.
+    let mut avg = Table::new(
+        "Fig 5c: average load factor vs r",
+        &["family", "label", "r", "avg LF(%)"],
+    );
+    for (specs, points, family) in [
+        (&ivcf_specs, &ivcf_points, "IVCF"),
+        (&dvcf_specs, &dvcf_points, "DVCF"),
+    ] {
+        for (spec, spec_points) in specs.iter().zip(points.iter()) {
+            let mean = spec_points.iter().map(|p| p.load_factor.mean).sum::<f64>()
+                / spec_points.len() as f64;
+            let family = if spec.label == "CF" { "CF" } else { family };
+            avg.row(vec![
+                Cell::from(family),
+                Cell::from(spec.label.clone()),
+                Cell::Float(spec.r, 4),
+                Cell::Float(mean * 100.0, 2),
+            ]);
+        }
+    }
+    report.push(avg);
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn load_factor_grows_with_r() {
+        let opts = ExpOptions {
+            slots_log2: 12,
+            reps: 1,
+            csv_dir: None,
+            ..Default::default()
+        };
+        let specs = [
+            FilterSpec::cf(),
+            FilterSpec::ivcf(2, 14),
+            FilterSpec::vcf(14),
+        ];
+        let points: Vec<f64> = specs
+            .iter()
+            .map(|s| fill_point(s, 12, &opts, |c| c).load_factor.mean)
+            .collect();
+        assert!(
+            points[0] <= points[2] + 0.003,
+            "CF {} vs VCF {}",
+            points[0],
+            points[2]
+        );
+        assert!(
+            points[1] <= points[2] + 0.01,
+            "IVCF2 {} vs VCF {}",
+            points[1],
+            points[2]
+        );
+    }
+
+    #[test]
+    fn quick_sizes_are_small() {
+        let opts = ExpOptions {
+            slots_log2: 16,
+            csv_dir: None,
+            ..Default::default()
+        };
+        let s = sizes(&opts);
+        assert!(s.iter().all(|&t| t <= 20));
+        assert!(s.len() >= 3);
+    }
+}

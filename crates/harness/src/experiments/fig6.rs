@@ -1,0 +1,76 @@
+//! Fig. 6 — average lookup time with different `r`: (a) 100 % existing
+//! items, (b) 50/50 mix of existing and alien items.
+//!
+//! Expected shape: IVCF lookup cost is a small constant above CF
+//! regardless of `r` (it always probes four bucket entries); DVCF lookup
+//! grows with `r`; DCF is the slowest (base-`d` conversions); negative
+//! lookups cost more than positive ones (no early exit).
+
+use crate::factory::FilterSpec;
+use crate::report::{Cell, Report, Table};
+use crate::runner::{fill, lookup, lookup_mixed};
+use crate::timing::Summary;
+use crate::ExpOptions;
+use vcf_core::CuckooConfig;
+use vcf_workloads::KeyStream;
+
+/// Runs the experiment.
+pub fn run(opts: &ExpOptions) -> Report {
+    let theta = opts.theta();
+    let slots = 1usize << theta;
+    let reps = opts.repetitions().max(1);
+
+    let mut table = Table::new(
+        &format!("Fig 6: lookup time vs r (2^{theta} slots & items)"),
+        &["filter", "r", "positive QT(us)", "mixed QT(us)"],
+    );
+
+    for spec in FilterSpec::paper_lineup(14) {
+        let mut positive = Vec::new();
+        let mut mixed = Vec::new();
+        for rep in 0..reps {
+            let seed = opts.seed.wrapping_add(rep as u64);
+            let keys = KeyStream::new(seed).take_vec(slots);
+            let aliens = KeyStream::new(seed ^ 0x000a_11e4).take_vec(slots);
+            let config = CuckooConfig::with_total_slots(slots).with_seed(seed ^ 0xf166);
+            let mut filter = spec.build(config).expect("lineup spec must build");
+            fill(filter.as_mut(), &keys);
+            // Untimed warm-up pass (cold caches would bias the first row).
+            let warm = keys.len().min(8192);
+            let _ = lookup(filter.as_ref(), &keys[..warm]);
+            positive.push(lookup(filter.as_ref(), &keys).micros_per_lookup);
+            mixed.push(lookup_mixed(filter.as_ref(), &keys, &aliens).micros_per_lookup);
+        }
+        table.row(vec![
+            Cell::from(spec.label.clone()),
+            if spec.r.is_nan() {
+                Cell::from("-")
+            } else {
+                Cell::Float(spec.r, 3)
+            },
+            Cell::Float(Summary::of(&positive).mean, 3),
+            Cell::Float(Summary::of(&mixed).mean, 3),
+        ]);
+    }
+
+    let mut report = Report::new();
+    report.push(table);
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn produces_full_lineup() {
+        let opts = ExpOptions {
+            slots_log2: 10,
+            reps: 1,
+            csv_dir: None,
+            ..Default::default()
+        };
+        let report = run(&opts);
+        assert_eq!(report.tables()[0].len(), 17);
+    }
+}

@@ -1,0 +1,116 @@
+//! Fig. 7 — time consumption of item insertion for IVCFs and DVCFs with
+//! respect to the filter size, plus average insertion time vs `r`.
+//!
+//! Expected shape: VCF cuts the per-item insertion time roughly in half
+//! versus CF; DCF costs about twice VCF (base-`d` indexing); IVCF is
+//! slightly cheaper than DVCF at high `r` (no interval judgment).
+
+use crate::experiments::fig5::sweep;
+use crate::experiments::FillPoint;
+use crate::factory::FilterSpec;
+use crate::report::{Cell, Report, Table};
+use crate::ExpOptions;
+
+fn time_table(title: &str, specs: &[FilterSpec], points: &[Vec<FillPoint>]) -> Table {
+    let mut headers: Vec<String> = vec!["theta".into()];
+    headers.extend(specs.iter().map(|s| format!("{} IT(us)", s.label)));
+    let header_refs: Vec<&str> = headers.iter().map(String::as_str).collect();
+    let mut table = Table::new(title, &header_refs);
+    for i in 0..points[0].len() {
+        let mut row = vec![Cell::Int(i64::from(points[0][i].slots_log2))];
+        for spec_points in points {
+            row.push(Cell::Float(spec_points[i].micros_per_insert.mean, 3));
+        }
+        table.row(row);
+    }
+    table
+}
+
+/// Runs the experiment.
+pub fn run(opts: &ExpOptions) -> Report {
+    let mut report = Report::new();
+
+    let mut ivcf_specs = vec![FilterSpec::cf(), FilterSpec::dcf()];
+    ivcf_specs.extend(FilterSpec::ivcf_ladder(14));
+    let ivcf_points = sweep(&ivcf_specs, opts);
+    report.push(time_table(
+        "Fig 7a: IVCF insertion time vs filter size",
+        &ivcf_specs,
+        &ivcf_points,
+    ));
+
+    let mut dvcf_specs = vec![FilterSpec::cf(), FilterSpec::dcf()];
+    dvcf_specs.extend(FilterSpec::dvcf_ladder());
+    let dvcf_points = sweep(&dvcf_specs, opts);
+    report.push(time_table(
+        "Fig 7b: DVCF insertion time vs filter size",
+        &dvcf_specs,
+        &dvcf_points,
+    ));
+
+    let mut avg = Table::new(
+        "Fig 7c: average insertion time vs r",
+        &["family", "label", "r", "avg IT(us)", "avg fill (s)"],
+    );
+    for (specs, points, family) in [
+        (&ivcf_specs, &ivcf_points, "IVCF"),
+        (&dvcf_specs, &dvcf_points, "DVCF"),
+    ] {
+        for (spec, spec_points) in specs.iter().zip(points.iter()) {
+            let mean = spec_points
+                .iter()
+                .map(|p| p.micros_per_insert.mean)
+                .sum::<f64>()
+                / spec_points.len() as f64;
+            let fill_secs = spec_points
+                .iter()
+                .map(|p| p.total_seconds.mean)
+                .sum::<f64>()
+                / spec_points.len() as f64;
+            let family = match spec.label.as_str() {
+                "CF" => "CF",
+                "DCF" => "DCF",
+                _ => family,
+            };
+            avg.row(vec![
+                Cell::from(family),
+                Cell::from(spec.label.clone()),
+                if spec.r.is_nan() {
+                    Cell::from("-")
+                } else {
+                    Cell::Float(spec.r, 4)
+                },
+                Cell::Float(mean, 3),
+                Cell::Float(fill_secs, 4),
+            ]);
+        }
+    }
+    report.push(avg);
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::experiments::fill_point;
+
+    #[test]
+    fn vcf_inserts_faster_than_cf_when_full() {
+        // The headline claim: near-capacity fills cost CF far more kicks,
+        // hence more time per insert.
+        let opts = ExpOptions {
+            slots_log2: 14,
+            reps: 2,
+            csv_dir: None,
+            ..Default::default()
+        };
+        let cf = fill_point(&FilterSpec::cf(), 14, &opts, |c| c);
+        let vcf = fill_point(&FilterSpec::vcf(14), 14, &opts, |c| c);
+        assert!(
+            vcf.kicks_per_insert.mean < cf.kicks_per_insert.mean,
+            "VCF kicks {} must be below CF kicks {}",
+            vcf.kicks_per_insert.mean,
+            cf.kicks_per_insert.mean
+        );
+    }
+}

@@ -1,0 +1,79 @@
+//! Fig. 8 — average number of evicted fingerprints `E0` with different
+//! `r`, against the Section V model (Equ. 14/15).
+//!
+//! Expected shape: `E0` drops sharply as `r` grows — ≈12.8 for CF down to
+//! ≈1.3 for VCF in the paper — and DVCF sits slightly above IVCF at equal
+//! `r`.
+
+use crate::experiments::fill_point;
+use crate::factory::FilterSpec;
+use crate::report::{Cell, Report, Table};
+use crate::ExpOptions;
+
+/// Runs the experiment.
+pub fn run(opts: &ExpOptions) -> Report {
+    let theta = opts.theta();
+    let mut table = Table::new(
+        &format!("Fig 8: average evictions E0 vs r (2^{theta} slots)"),
+        &["filter", "r", "measured E0", "model E0 (Equ.14/15)"],
+    );
+
+    for spec in FilterSpec::paper_lineup(14) {
+        let point = fill_point(&spec, theta, opts, |c| c);
+        let model = if spec.r.is_nan() {
+            f64::NAN
+        } else {
+            let alpha = point.load_factor.mean.min(0.999);
+            let e = vcf_analysis::avg_insert_cost(alpha, spec.r, 4);
+            vcf_analysis::e0(point.load_factor.mean, e)
+        };
+        table.row(vec![
+            Cell::from(spec.label.clone()),
+            if spec.r.is_nan() {
+                Cell::from("-")
+            } else {
+                Cell::Float(spec.r, 3)
+            },
+            Cell::Float(point.kicks_per_insert.mean, 3),
+            if model.is_nan() {
+                Cell::from("-")
+            } else {
+                Cell::Float(model, 3)
+            },
+        ]);
+    }
+
+    let mut report = Report::new();
+    report.push(table);
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn e0_drops_with_r() {
+        let opts = ExpOptions {
+            slots_log2: 13,
+            reps: 2,
+            csv_dir: None,
+            ..Default::default()
+        };
+        let cf = fill_point(&FilterSpec::cf(), 13, &opts, |c| c);
+        let mid = fill_point(&FilterSpec::ivcf(3, 14), 13, &opts, |c| c);
+        let vcf = fill_point(&FilterSpec::vcf(14), 13, &opts, |c| c);
+        assert!(
+            vcf.kicks_per_insert.mean < mid.kicks_per_insert.mean,
+            "vcf={} mid={}",
+            vcf.kicks_per_insert.mean,
+            mid.kicks_per_insert.mean
+        );
+        assert!(
+            mid.kicks_per_insert.mean < cf.kicks_per_insert.mean,
+            "mid={} cf={}",
+            mid.kicks_per_insert.mean,
+            cf.kicks_per_insert.mean
+        );
+    }
+}

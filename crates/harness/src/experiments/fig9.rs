@@ -1,0 +1,102 @@
+//! Fig. 9 — false positive rate with respect to `r` at a fixed filter
+//! size, against the Equ. 10 bound.
+//!
+//! Expected shape: FPR grows ≈linearly in `r` (more candidate buckets →
+//! more fingerprint comparisons per lookup); IVCF and DVCF are similar at
+//! equal `r`; everything stays below the Equ. 10 upper bound.
+
+use crate::factory::FilterSpec;
+use crate::report::{Cell, Report, Table};
+use crate::runner::{fill, measure_fpr};
+use crate::timing::Summary;
+use crate::ExpOptions;
+use vcf_core::CuckooConfig;
+use vcf_workloads::HiggsDataset;
+
+/// Runs the experiment. Builds the alien set `D` from dataset items that
+/// were never inserted, exactly as Section VI-B3 describes.
+pub fn run(opts: &ExpOptions) -> Report {
+    let theta = opts.theta();
+    let slots = 1usize << theta;
+    let reps = opts.repetitions().max(1);
+
+    let mut table = Table::new(
+        &format!("Fig 9: false positive rate vs r (2^{theta} slots, f=14)"),
+        &["filter", "r", "FPR(x1e-3)", "Equ.10 bound(x1e-3)"],
+    );
+
+    let datasets: Vec<HiggsDataset> = (0..reps)
+        .map(|rep| HiggsDataset::generate(2 * slots, opts.seed.wrapping_add(rep as u64)))
+        .collect();
+
+    for spec in FilterSpec::paper_lineup(14) {
+        let mut rates = Vec::new();
+        let mut alphas = Vec::new();
+        for (rep, dataset) in datasets.iter().enumerate() {
+            let seed = opts.seed.wrapping_add(rep as u64);
+            let (stored_keys, alien_keys) = dataset.split(slots);
+            let config = CuckooConfig::with_total_slots(slots).with_seed(seed ^ 0xf9);
+            let mut filter = spec.build(config).expect("lineup spec must build");
+            let outcome = fill(filter.as_mut(), stored_keys);
+            alphas.push(outcome.load_factor);
+            rates.push(measure_fpr(filter.as_ref(), alien_keys).rate);
+        }
+        let alpha = Summary::of(&alphas).mean;
+        let bound = if spec.r.is_nan() {
+            // DCF: d=4 candidates always → same form with r=1.
+            vcf_analysis::fpr_upper_bound(1.0, 4, alpha, 14)
+        } else {
+            vcf_analysis::fpr_upper_bound(spec.r, 4, alpha, 14)
+        };
+        table.row(vec![
+            Cell::from(spec.label.clone()),
+            if spec.r.is_nan() {
+                Cell::from("-")
+            } else {
+                Cell::Float(spec.r, 3)
+            },
+            Cell::Float(Summary::of(&rates).mean * 1e3, 3),
+            Cell::Float(bound * 1e3, 3),
+        ]);
+    }
+
+    let mut report = Report::new();
+    report.push(table);
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fpr_grows_with_r_and_respects_bound() {
+        let opts = ExpOptions {
+            slots_log2: 14,
+            reps: 2,
+            csv_dir: None,
+            ..Default::default()
+        };
+        let slots = 1usize << 14;
+        let measure = |spec: &FilterSpec| {
+            let mut rates = Vec::new();
+            for rep in 0..2u64 {
+                let dataset = HiggsDataset::generate(2 * slots, opts.seed + rep);
+                let (stored, alien) = dataset.split(slots);
+                let config = CuckooConfig::with_total_slots(slots).with_seed(rep);
+                let mut filter = spec.build(config).unwrap();
+                fill(filter.as_mut(), stored);
+                rates.push(measure_fpr(filter.as_ref(), alien).rate);
+            }
+            Summary::of(&rates).mean
+        };
+        let cf = measure(&FilterSpec::cf());
+        let vcf = measure(&FilterSpec::vcf(14));
+        assert!(
+            vcf > cf,
+            "four candidates must raise FPR: cf={cf} vcf={vcf}"
+        );
+        // Equ. 10: VCF bound at α≈1 is ~16/2^14 ≈ 0.98e-3; allow noise.
+        assert!(vcf < 2.0 * vcf_analysis::fpr_upper_bound(1.0, 4, 1.0, 14));
+    }
+}

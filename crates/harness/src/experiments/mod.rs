@@ -1,0 +1,161 @@
+//! One module per paper artifact (table or figure), each exposing
+//! `run(&ExpOptions) -> Report`.
+//!
+//! | Module   | Paper artifact | What it regenerates |
+//! |----------|----------------|---------------------|
+//! | `table1` | Table I        | space / throughput / deletion vs BF |
+//! | `fig4`   | Fig. 4         | load factor vs fingerprint length |
+//! | `table3` | Table III      | LF / IT / QT / FPR for the full line-up |
+//! | `fig5`   | Fig. 5(a–c)    | load factor vs filter size and vs r |
+//! | `fig6`   | Fig. 6(a,b)    | lookup time vs r (positive / mixed) |
+//! | `fig7`   | Fig. 7(a–c)    | insertion time vs filter size |
+//! | `fig8`   | Fig. 8         | average evictions E0 vs r |
+//! | `fig9`   | Fig. 9         | false positive rate vs r |
+//! | `table4` | Table IV       | insertion time under FNV / Murmur / DJB |
+//! | `table5` | Table V        | k-VCF load factor and time vs k |
+//! | `model`  | Section V      | analytic model vs measurement |
+//! | `churn`  | Section I      | sustained online churn (motivating scenario) |
+//! | `ablation` | DESIGN.md §6 | mask placement, rollback cost, dynamic chain |
+
+pub mod ablation;
+pub mod churn;
+pub mod fig4;
+pub mod fig5;
+pub mod fig6;
+pub mod fig7;
+pub mod fig8;
+pub mod fig9;
+pub mod model;
+pub mod table1;
+pub mod table3;
+pub mod table4;
+pub mod table5;
+
+use crate::factory::FilterSpec;
+use crate::runner::{fill, FillOutcome};
+use crate::timing::Summary;
+use crate::ExpOptions;
+use vcf_core::CuckooConfig;
+use vcf_workloads::KeyStream;
+
+/// All experiment names accepted by the CLI, in paper order.
+pub const ALL: [&str; 13] = [
+    "table1", "fig4", "table3", "fig5", "fig6", "fig7", "fig8", "fig9", "table4", "table5",
+    "model", "churn", "ablation",
+];
+
+/// Runs the experiment called `name`.
+///
+/// # Errors
+///
+/// Returns an error string for unknown names.
+pub fn run_by_name(name: &str, opts: &ExpOptions) -> Result<crate::Report, String> {
+    match name {
+        "table1" => Ok(table1::run(opts)),
+        "fig4" => Ok(fig4::run(opts)),
+        "table3" => Ok(table3::run(opts)),
+        "fig5" => Ok(fig5::run(opts)),
+        "fig6" => Ok(fig6::run(opts)),
+        "fig7" => Ok(fig7::run(opts)),
+        "fig8" => Ok(fig8::run(opts)),
+        "fig9" => Ok(fig9::run(opts)),
+        "table4" => Ok(table4::run(opts)),
+        "table5" => Ok(table5::run(opts)),
+        "model" => Ok(model::run(opts)),
+        "churn" => Ok(churn::run(opts)),
+        "ablation" => Ok(ablation::run(opts)),
+        other => Err(format!(
+            "unknown experiment '{other}'; known: {}",
+            ALL.join(", ")
+        )),
+    }
+}
+
+/// Aggregated fill measurements for one `(spec, size)` point across
+/// repetitions.
+#[derive(Debug, Clone)]
+pub(crate) struct FillPoint {
+    pub slots_log2: u32,
+    pub load_factor: Summary,
+    pub micros_per_insert: Summary,
+    pub kicks_per_insert: Summary,
+    pub total_seconds: Summary,
+}
+
+/// Fills one filter built from `spec` with `slots` fresh keys, repeated
+/// `reps` times with distinct seeds; used by every load/insertion-time
+/// experiment. The paper's methodology: "select n items … feed them to an
+/// empty filter with n slots", repeated and averaged.
+pub(crate) fn fill_point(
+    spec: &FilterSpec,
+    slots_log2: u32,
+    opts: &ExpOptions,
+    config_tweak: impl Fn(CuckooConfig) -> CuckooConfig,
+) -> FillPoint {
+    let slots = 1usize << slots_log2;
+    let reps = opts.repetitions().max(1);
+    let mut lf = Vec::with_capacity(reps);
+    let mut it = Vec::with_capacity(reps);
+    let mut kicks = Vec::with_capacity(reps);
+    let mut secs = Vec::with_capacity(reps);
+    for rep in 0..reps {
+        let seed = opts.seed.wrapping_add(rep as u64);
+        let config = config_tweak(CuckooConfig::with_total_slots(slots).with_seed(seed ^ 0xf11));
+        let mut filter = spec
+            .build(config)
+            .unwrap_or_else(|e| panic!("cannot build {} at 2^{slots_log2} slots: {e}", spec.label));
+        let keys = KeyStream::new(seed).take_vec(slots);
+        let outcome: FillOutcome = fill(filter.as_mut(), &keys);
+        lf.push(outcome.load_factor);
+        it.push(outcome.micros_per_insert);
+        kicks.push(outcome.kicks_per_insert);
+        secs.push(outcome.seconds);
+    }
+    FillPoint {
+        slots_log2,
+        load_factor: Summary::of(&lf),
+        micros_per_insert: Summary::of(&it),
+        kicks_per_insert: Summary::of(&kicks),
+        total_seconds: Summary::of(&secs),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_opts() -> ExpOptions {
+        ExpOptions {
+            slots_log2: 10,
+            reps: 1,
+            csv_dir: None,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn run_by_name_rejects_unknown() {
+        assert!(run_by_name("nope", &tiny_opts()).is_err());
+    }
+
+    #[test]
+    fn fill_point_aggregates() {
+        let p = fill_point(&FilterSpec::vcf(14), 10, &tiny_opts(), |c| c);
+        assert_eq!(p.slots_log2, 10);
+        assert!(p.load_factor.mean > 0.9);
+        assert_eq!(p.load_factor.count, 1);
+    }
+
+    #[test]
+    fn every_experiment_runs_at_tiny_scale() {
+        // Smoke: all 11 experiments must complete and yield tables.
+        let opts = tiny_opts();
+        for name in ALL {
+            let report = run_by_name(name, &opts).unwrap();
+            assert!(!report.tables().is_empty(), "{name} produced no tables");
+            for t in report.tables() {
+                assert!(!t.is_empty(), "{name}: table '{}' has no rows", t.title());
+            }
+        }
+    }
+}

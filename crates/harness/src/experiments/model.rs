@@ -1,0 +1,150 @@
+//! Section V — analytic model vs measurement.
+//!
+//! Three checks:
+//! 1. Equ. 8: predicted probability of four distinct candidate buckets vs
+//!    the empirical frequency over random fingerprint hashes.
+//! 2. Equ. 13/14: predicted eviction cost vs the measured kicks-per-insert
+//!    at a range of fill targets, for CF (`r = 0`) and VCF (`r ≈ 0.98`).
+//! 3. Equ. 10: FPR upper bound vs the measured false positive rate.
+
+use crate::factory::FilterSpec;
+use crate::report::{Cell, Report, Table};
+use crate::runner::{fill, measure_fpr};
+use crate::ExpOptions;
+use vcf_core::{CuckooConfig, MaskPair, VerticalParams};
+use vcf_hash::mix64;
+use vcf_workloads::KeyStream;
+
+fn equ8_table() -> Table {
+    let mut table = Table::new(
+        "Model check: Equ. 8 four-candidate probability (f=14)",
+        &["ones in bm1", "predicted P", "empirical P"],
+    );
+    let buckets = 1usize << 16;
+    let trials = 100_000u64;
+    for ones in 1..=7u32 {
+        let masks = MaskPair::with_ones(ones, 14).expect("valid mask");
+        let params = VerticalParams::new(masks, buckets);
+        let four = (0..trials)
+            .filter(|&i| params.candidates(0, mix64(i)).distinct() == 4)
+            .count();
+        table.row(vec![
+            Cell::Int(i64::from(ones)),
+            Cell::Float(masks.expected_r(), 4),
+            Cell::Float(four as f64 / trials as f64, 4),
+        ]);
+    }
+    table
+}
+
+fn equ14_table(opts: &ExpOptions) -> Table {
+    let theta = opts.theta().min(16);
+    let slots = 1usize << theta;
+    let mut table = Table::new(
+        &format!("Model check: Equ. 13/14 eviction cost (2^{theta} slots)"),
+        &[
+            "target alpha",
+            "CF measured",
+            "CF model",
+            "VCF measured",
+            "VCF model",
+        ],
+    );
+    for target in [0.5, 0.8, 0.9, 0.95] {
+        let n = (slots as f64 * target) as usize;
+        let mut row = vec![Cell::Float(target, 2)];
+        for spec in [FilterSpec::cf(), FilterSpec::vcf(14)] {
+            let keys = KeyStream::new(opts.seed).take_vec(n);
+            let config = CuckooConfig::with_total_slots(slots).with_seed(opts.seed);
+            let mut filter = spec.build(config).expect("model spec");
+            let outcome = fill(filter.as_mut(), &keys);
+            let model = vcf_analysis::avg_insert_cost(outcome.load_factor, spec.r, 4) - 1.0;
+            row.push(Cell::Float(outcome.kicks_per_insert, 3));
+            row.push(Cell::Float(model.max(0.0), 3));
+        }
+        table.row(row);
+    }
+    table
+}
+
+fn equ10_table(opts: &ExpOptions) -> Table {
+    let theta = opts.theta().min(16);
+    let slots = 1usize << theta;
+    let mut table = Table::new(
+        &format!("Model check: Equ. 10 FPR bound (2^{theta} slots, f=14)"),
+        &["filter", "alpha", "measured FPR(x1e-3)", "bound(x1e-3)"],
+    );
+    for spec in [
+        FilterSpec::cf(),
+        FilterSpec::ivcf(3, 14),
+        FilterSpec::vcf(14),
+    ] {
+        let keys = KeyStream::new(opts.seed).take_vec(slots * 95 / 100);
+        let aliens = KeyStream::new(opts.seed ^ 0xdead).take_vec(200_000);
+        let config = CuckooConfig::with_total_slots(slots).with_seed(opts.seed);
+        let mut filter = spec.build(config).expect("model spec");
+        let outcome = fill(filter.as_mut(), &keys);
+        let measured = measure_fpr(filter.as_ref(), &aliens).rate;
+        let bound = vcf_analysis::fpr_upper_bound(spec.r, 4, outcome.load_factor, 14);
+        table.row(vec![
+            Cell::from(spec.label.clone()),
+            Cell::Float(outcome.load_factor, 3),
+            Cell::Float(measured * 1e3, 3),
+            Cell::Float(bound * 1e3, 3),
+        ]);
+    }
+    table
+}
+
+/// Runs all three model checks.
+pub fn run(opts: &ExpOptions) -> Report {
+    let mut report = Report::new();
+    report.push(equ8_table());
+    report.push(equ14_table(opts));
+    report.push(equ10_table(opts));
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn equ8_prediction_matches_measurement() {
+        let table = equ8_table();
+        for line in table.to_csv().lines().skip(1) {
+            let cols: Vec<f64> = line
+                .split(',')
+                .skip(1)
+                .map(|v| v.parse().unwrap())
+                .collect();
+            assert!(
+                (cols[0] - cols[1]).abs() < 0.01,
+                "Equ.8 check failed: predicted {} vs empirical {}",
+                cols[0],
+                cols[1]
+            );
+        }
+    }
+
+    #[test]
+    fn equ10_bound_holds() {
+        let opts = ExpOptions {
+            slots_log2: 13,
+            reps: 1,
+            csv_dir: None,
+            ..Default::default()
+        };
+        let table = equ10_table(&opts);
+        for line in table.to_csv().lines().skip(1) {
+            let cols: Vec<&str> = line.split(',').collect();
+            let measured: f64 = cols[2].parse().unwrap();
+            let bound: f64 = cols[3].parse().unwrap();
+            assert!(
+                measured <= bound * 1.6 + 0.05,
+                "{}: measured {measured} far above bound {bound}",
+                cols[0]
+            );
+        }
+    }
+}

@@ -1,0 +1,94 @@
+//! Table III — LF (load factor), IT (average insert time), QT (average
+//! mixed query time) and FPR for CF, DCF, IVCF1–6 + VCF, and DVCF1–8.
+//!
+//! Expected shape: LF grows CF < DVCF ≤ IVCF ≤ DCF; IT(VCF) ≈ half of
+//! IT(CF) and far below IT(DCF); QT slightly above CF for the VCF family
+//! and worst for DCF; FPR grows with `r`, roughly doubling from CF to
+//! VCF.
+
+use crate::factory::FilterSpec;
+use crate::report::{Cell, Report, Table};
+use crate::runner::{fill, lookup, lookup_mixed, measure_fpr};
+use crate::timing::Summary;
+use crate::ExpOptions;
+use vcf_core::CuckooConfig;
+use vcf_workloads::HiggsDataset;
+
+/// Runs the experiment. Uses the synthetic HIGGS dataset (see DESIGN.md)
+/// exactly as the paper does: `n` stored keys, a disjoint alien set `D`
+/// for FPR, 50/50 mixed lookups for QT.
+pub fn run(opts: &ExpOptions) -> Report {
+    let theta = opts.theta();
+    let slots = 1usize << theta;
+    let reps = opts.repetitions().max(1);
+
+    let mut table = Table::new(
+        &format!("Table III: LF / IT / QT / FPR (2^{theta} slots, f=14, MAX=500)"),
+        &["filter", "r", "LF(%)", "IT(us)", "QT(us)", "FPR(x1e-3)"],
+    );
+
+    // Datasets are per-rep, shared across the whole line-up (generating
+    // 2^(θ+1) HIGGS records once per spec would dominate paper-scale runs).
+    let datasets: Vec<HiggsDataset> = (0..reps)
+        .map(|rep| HiggsDataset::generate(2 * slots, opts.seed.wrapping_add(rep as u64)))
+        .collect();
+
+    for spec in FilterSpec::paper_lineup(14) {
+        let mut lf = Vec::new();
+        let mut it = Vec::new();
+        let mut qt = Vec::new();
+        let mut fpr = Vec::new();
+        for (rep, dataset) in datasets.iter().enumerate() {
+            let seed = opts.seed.wrapping_add(rep as u64);
+            // Dataset: n stored + n alien unique keys.
+            let (stored_keys, alien_keys) = dataset.split(slots);
+
+            let config = CuckooConfig::with_total_slots(slots).with_seed(seed ^ 0x7ab1e3);
+            let mut filter = spec.build(config).expect("lineup spec must build");
+            let outcome = fill(filter.as_mut(), stored_keys);
+            lf.push(outcome.load_factor);
+            it.push(outcome.micros_per_insert);
+            // Untimed warm-up pass so the first spec measured does not pay
+            // cold-cache/frequency-ramp costs in its QT column.
+            let warm = stored_keys.len().min(8192);
+            let _ = lookup(filter.as_ref(), &stored_keys[..warm]);
+            let mixed = lookup_mixed(filter.as_ref(), stored_keys, alien_keys);
+            qt.push(mixed.micros_per_lookup);
+            fpr.push(measure_fpr(filter.as_ref(), alien_keys).rate);
+        }
+        table.row(vec![
+            Cell::from(spec.label.clone()),
+            if spec.r.is_nan() {
+                Cell::from("-")
+            } else {
+                Cell::Float(spec.r, 3)
+            },
+            Cell::Float(Summary::of(&lf).mean * 100.0, 2),
+            Cell::Float(Summary::of(&it).mean, 3),
+            Cell::Float(Summary::of(&qt).mean, 3),
+            Cell::Float(Summary::of(&fpr).mean * 1e3, 3),
+        ]);
+    }
+
+    let mut report = Report::new();
+    report.push(table);
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lineup_rows_and_shape() {
+        let opts = ExpOptions {
+            slots_log2: 12,
+            reps: 1,
+            csv_dir: None,
+            ..Default::default()
+        };
+        let report = run(&opts);
+        let table = &report.tables()[0];
+        assert_eq!(table.len(), 17, "CF + DCF + 7 IVCF + 8 DVCF");
+    }
+}

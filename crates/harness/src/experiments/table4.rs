@@ -1,0 +1,72 @@
+//! Table IV — total insertion time of CF, IVCF (max `r`) and DVCF (max
+//! `r`) under FNV, MurmurHash3 and DJBHash.
+//!
+//! Expected shape: the VCF variants beat CF under every hash function;
+//! the advantage is largest with the cheap FNV/DJB2 hashes and smaller
+//! with Murmur (whose higher per-call cost dilutes the saved relocation
+//! hashes).
+
+use crate::factory::FilterSpec;
+use crate::report::{Cell, Report, Table};
+use crate::runner::fill;
+use crate::timing::Summary;
+use crate::ExpOptions;
+use vcf_core::CuckooConfig;
+use vcf_hash::HashKind;
+use vcf_workloads::KeyStream;
+
+/// Runs the experiment. "Setting r of IVCF and DVCF to the maximum":
+/// IVCF uses the balanced masks (= VCF), DVCF uses `r = 1`.
+pub fn run(opts: &ExpOptions) -> Report {
+    let theta = opts.theta();
+    let slots = 1usize << theta;
+    let reps = opts.repetitions().max(1);
+
+    let specs = [FilterSpec::cf(), FilterSpec::vcf(14), FilterSpec::dvcf_j(8)];
+    let mut table = Table::new(
+        &format!("Table IV: total insertion time by hash function (2^{theta} items, seconds)"),
+        &["hash", "CF (s)", "IVCF (s)", "DVCF (s)"],
+    );
+
+    for hash in HashKind::ALL {
+        let mut row = vec![Cell::from(hash.name())];
+        for spec in &specs {
+            let mut seconds = Vec::new();
+            for rep in 0..reps {
+                let seed = opts.seed.wrapping_add(rep as u64);
+                let keys = KeyStream::new(seed).take_vec(slots);
+                let config = CuckooConfig::with_total_slots(slots)
+                    .with_seed(seed)
+                    .with_hash(hash);
+                let mut filter = spec.build(config).expect("table4 spec");
+                seconds.push(fill(filter.as_mut(), &keys).seconds);
+            }
+            row.push(Cell::Float(Summary::of(&seconds).mean, 4));
+        }
+        table.row(row);
+    }
+
+    let mut report = Report::new();
+    report.push(table);
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn covers_all_three_hashes() {
+        let opts = ExpOptions {
+            slots_log2: 10,
+            reps: 1,
+            csv_dir: None,
+            ..Default::default()
+        };
+        let report = run(&opts);
+        let csv = report.tables()[0].to_csv();
+        for name in ["FNV", "Murmur3", "DJB2"] {
+            assert!(csv.contains(name), "missing {name} row:\n{csv}");
+        }
+    }
+}

@@ -1,0 +1,317 @@
+//! Plain-text table rendering and CSV output for experiment results.
+
+use std::fmt::Write as _;
+use std::fs;
+use std::io;
+use std::path::Path;
+
+/// One table cell.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Cell {
+    /// Text cell.
+    Text(String),
+    /// Integer cell.
+    Int(i64),
+    /// Float cell rendered with the given number of decimals.
+    Float(f64, usize),
+}
+
+impl Cell {
+    /// Renders the cell to a string.
+    pub fn render(&self) -> String {
+        match self {
+            Cell::Text(s) => s.clone(),
+            Cell::Int(v) => v.to_string(),
+            Cell::Float(v, decimals) => format!("{v:.*}", decimals),
+        }
+    }
+}
+
+impl From<&str> for Cell {
+    fn from(s: &str) -> Self {
+        Cell::Text(s.to_owned())
+    }
+}
+
+impl From<String> for Cell {
+    fn from(s: String) -> Self {
+        Cell::Text(s)
+    }
+}
+
+impl From<i64> for Cell {
+    fn from(v: i64) -> Self {
+        Cell::Int(v)
+    }
+}
+
+impl From<usize> for Cell {
+    fn from(v: usize) -> Self {
+        Cell::Int(v as i64)
+    }
+}
+
+/// A titled results table, renderable as aligned text and as CSV.
+///
+/// # Examples
+///
+/// ```
+/// use vcf_harness::{Cell, Table};
+///
+/// let mut t = Table::new("demo", &["filter", "LF(%)"]);
+/// t.row(vec![Cell::from("CF"), Cell::Float(98.16, 2)]);
+/// let text = t.render();
+/// assert!(text.contains("CF"));
+/// assert!(text.contains("98.16"));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Table {
+    title: String,
+    headers: Vec<String>,
+    rows: Vec<Vec<Cell>>,
+}
+
+impl Table {
+    /// Creates an empty table.
+    pub fn new(title: &str, headers: &[&str]) -> Self {
+        Self {
+            title: title.to_owned(),
+            headers: headers.iter().map(|s| (*s).to_owned()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row width differs from the header width.
+    pub fn row(&mut self, cells: Vec<Cell>) {
+        assert_eq!(
+            cells.len(),
+            self.headers.len(),
+            "row width mismatch in table {}",
+            self.title
+        );
+        self.rows.push(cells);
+    }
+
+    /// The table title.
+    pub fn title(&self) -> &str {
+        &self.title
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders the table as aligned monospace text.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.headers.iter().map(String::len).collect();
+        let rendered: Vec<Vec<String>> = self
+            .rows
+            .iter()
+            .map(|r| r.iter().map(Cell::render).collect())
+            .collect();
+        for row in &rendered {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let _ = writeln!(out, "== {} ==", self.title);
+        let header_line: Vec<String> = self
+            .headers
+            .iter()
+            .enumerate()
+            .map(|(i, h)| format!("{h:>width$}", width = widths[i]))
+            .collect();
+        let _ = writeln!(out, "{}", header_line.join("  "));
+        let total: usize = widths.iter().sum::<usize>() + 2 * (widths.len().saturating_sub(1));
+        let _ = writeln!(out, "{}", "-".repeat(total));
+        for row in &rendered {
+            let line: Vec<String> = row
+                .iter()
+                .enumerate()
+                .map(|(i, c)| format!("{c:>width$}", width = widths[i]))
+                .collect();
+            let _ = writeln!(out, "{}", line.join("  "));
+        }
+        out
+    }
+
+    /// Renders the table as CSV (RFC-4180-ish quoting for commas/quotes).
+    pub fn to_csv(&self) -> String {
+        fn escape(field: &str) -> String {
+            if field.contains(',') || field.contains('"') || field.contains('\n') {
+                format!("\"{}\"", field.replace('"', "\"\""))
+            } else {
+                field.to_owned()
+            }
+        }
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "{}",
+            self.headers
+                .iter()
+                .map(|h| escape(h))
+                .collect::<Vec<_>>()
+                .join(",")
+        );
+        for row in &self.rows {
+            let line: Vec<String> = row.iter().map(|c| escape(&c.render())).collect();
+            let _ = writeln!(out, "{}", line.join(","));
+        }
+        out
+    }
+
+    /// Writes the CSV rendering to `dir/<slug>.csv`, creating `dir`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors.
+    pub fn write_csv(&self, dir: &Path) -> io::Result<std::path::PathBuf> {
+        fs::create_dir_all(dir)?;
+        let slug: String = self
+            .title
+            .chars()
+            .map(|c| {
+                if c.is_ascii_alphanumeric() {
+                    c.to_ascii_lowercase()
+                } else {
+                    '_'
+                }
+            })
+            .collect();
+        let path = dir.join(format!("{slug}.csv"));
+        fs::write(&path, self.to_csv())?;
+        Ok(path)
+    }
+}
+
+/// A report: a set of tables produced by one experiment.
+#[derive(Debug, Clone, Default)]
+pub struct Report {
+    tables: Vec<Table>,
+}
+
+impl Report {
+    /// Creates an empty report.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a table.
+    pub fn push(&mut self, table: Table) {
+        self.tables.push(table);
+    }
+
+    /// The tables, in insertion order.
+    pub fn tables(&self) -> &[Table] {
+        &self.tables
+    }
+
+    /// Prints every table to stdout and, when `csv_dir` is set, writes
+    /// one CSV per table.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors from CSV output.
+    pub fn emit(&self, csv_dir: Option<&Path>) -> io::Result<()> {
+        for table in &self.tables {
+            println!("{}", table.render());
+            if let Some(dir) = csv_dir {
+                let path = table.write_csv(dir)?;
+                println!("  [csv] {}\n", path.display());
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Table {
+        let mut t = Table::new("Fig 9: FPR vs r", &["r", "IVCF", "DVCF"]);
+        t.row(vec![
+            Cell::Float(0.5, 3),
+            Cell::Float(0.00071, 5),
+            Cell::Float(0.00074, 5),
+        ]);
+        t.row(vec![
+            Cell::Float(1.0, 3),
+            Cell::Float(0.00097, 5),
+            Cell::Float(0.00095, 5),
+        ]);
+        t
+    }
+
+    #[test]
+    fn render_contains_all_cells() {
+        let text = sample().render();
+        assert!(text.contains("Fig 9"));
+        assert!(text.contains("0.500"));
+        assert!(text.contains("0.00095"));
+    }
+
+    #[test]
+    fn columns_are_aligned() {
+        let text = sample().render();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 5, "title, header, separator, 2 rows");
+        // Right-aligned fixed-width columns: every data line has the same
+        // length as the header line.
+        assert_eq!(lines[1].len(), lines[3].len());
+        assert_eq!(lines[1].len(), lines[4].len());
+    }
+
+    #[test]
+    fn csv_escapes_commas() {
+        let mut t = Table::new("x", &["a"]);
+        t.row(vec![Cell::from("hello, world")]);
+        assert!(t.to_csv().contains("\"hello, world\""));
+    }
+
+    #[test]
+    fn csv_roundtrip_layout() {
+        let csv = sample().to_csv();
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert_eq!(lines[0], "r,IVCF,DVCF");
+        assert_eq!(lines[1].split(',').count(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "row width mismatch")]
+    fn row_width_checked() {
+        let mut t = Table::new("x", &["a", "b"]);
+        t.row(vec![Cell::from("only one")]);
+    }
+
+    #[test]
+    fn write_csv_creates_file() {
+        let dir = std::env::temp_dir().join("vcf_report_test");
+        let path = sample().write_csv(&dir).unwrap();
+        assert!(path.exists());
+        let content = std::fs::read_to_string(&path).unwrap();
+        assert!(content.starts_with("r,IVCF,DVCF"));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn report_collects_tables() {
+        let mut r = Report::new();
+        r.push(sample());
+        r.push(sample());
+        assert_eq!(r.tables().len(), 2);
+    }
+}

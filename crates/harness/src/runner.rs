@@ -1,0 +1,198 @@
+//! Reusable measurement routines: fill, lookup, false-positive probes.
+
+use crate::timing::{micros_per_op, time};
+use vcf_traits::Filter;
+
+/// Result of feeding a key set into a filter.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FillOutcome {
+    /// Keys offered.
+    pub attempted: usize,
+    /// Keys acknowledged (insert returned `Ok`).
+    pub stored: usize,
+    /// Wall-clock seconds for the whole fill.
+    pub seconds: f64,
+    /// Mean microseconds per attempted insertion.
+    pub micros_per_insert: f64,
+    /// Load factor as the paper measures it: stored / capacity.
+    pub load_factor: f64,
+    /// Measured `E0`: fingerprint evictions per attempted insertion
+    /// (failed insertions contribute their full `MAX` kicks, exactly as in
+    /// Equ. 15).
+    pub kicks_per_insert: f64,
+    /// Insertions rejected at the kick limit.
+    pub failures: usize,
+}
+
+/// Feeds `keys` into `filter`, timing the whole run.
+pub fn fill(filter: &mut dyn Filter, keys: &[Vec<u8>]) -> FillOutcome {
+    filter.reset_stats();
+    let (stored, seconds) = time(|| {
+        let mut stored = 0usize;
+        for key in keys {
+            if filter.insert(key).is_ok() {
+                stored += 1;
+            }
+        }
+        stored
+    });
+    let stats = filter.stats();
+    FillOutcome {
+        attempted: keys.len(),
+        stored,
+        seconds,
+        micros_per_insert: micros_per_op(seconds, keys.len()),
+        load_factor: stored as f64 / filter.capacity() as f64,
+        kicks_per_insert: stats.kicks_per_insert(),
+        failures: stats.failed_inserts as usize,
+    }
+}
+
+/// Result of a timed lookup run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LookupOutcome {
+    /// Queries issued.
+    pub queries: usize,
+    /// Wall-clock seconds.
+    pub seconds: f64,
+    /// Mean microseconds per query.
+    pub micros_per_lookup: f64,
+    /// Queries answered positively.
+    pub positives: usize,
+}
+
+/// Times lookups of `keys` (the paper's "100 % existing items" case when
+/// `keys` were all inserted).
+pub fn lookup(filter: &dyn Filter, keys: &[Vec<u8>]) -> LookupOutcome {
+    let (positives, seconds) = time(|| keys.iter().filter(|k| filter.contains(k)).count());
+    LookupOutcome {
+        queries: keys.len(),
+        seconds,
+        micros_per_lookup: micros_per_op(seconds, keys.len()),
+        positives,
+    }
+}
+
+/// Times a 50/50 interleave of `existing` and `alien` queries (the
+/// paper's "mixed" case, Fig. 6(b)).
+pub fn lookup_mixed(filter: &dyn Filter, existing: &[Vec<u8>], alien: &[Vec<u8>]) -> LookupOutcome {
+    let n = existing.len().min(alien.len());
+    let (positives, seconds) = time(|| {
+        let mut positives = 0usize;
+        for i in 0..n {
+            if filter.contains(&existing[i]) {
+                positives += 1;
+            }
+            if filter.contains(&alien[i]) {
+                positives += 1;
+            }
+        }
+        positives
+    });
+    LookupOutcome {
+        queries: 2 * n,
+        seconds,
+        micros_per_lookup: micros_per_op(seconds, 2 * n),
+        positives,
+    }
+}
+
+/// Result of a false-positive probe.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FprOutcome {
+    /// Alien keys queried (none were inserted).
+    pub queried: usize,
+    /// Queries answered `true`.
+    pub false_positives: usize,
+    /// The measured rate.
+    pub rate: f64,
+}
+
+/// Queries `aliens` (guaranteed non-inserted) and reports the fraction
+/// answered positively — the paper's `ξ'` methodology (Section VI-B3).
+pub fn measure_fpr(filter: &dyn Filter, aliens: &[Vec<u8>]) -> FprOutcome {
+    let false_positives = aliens.iter().filter(|k| filter.contains(k)).count();
+    FprOutcome {
+        queried: aliens.len(),
+        false_positives,
+        rate: if aliens.is_empty() {
+            0.0
+        } else {
+            false_positives as f64 / aliens.len() as f64
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vcf_core::{CuckooConfig, VerticalCuckooFilter};
+    use vcf_workloads::KeyStream;
+
+    fn filter() -> VerticalCuckooFilter {
+        VerticalCuckooFilter::new(CuckooConfig::new(1 << 8).with_seed(1)).unwrap()
+    }
+
+    #[test]
+    fn fill_reports_consistent_counts() {
+        let mut f = filter();
+        let keys = KeyStream::new(1).take_vec(500);
+        let outcome = fill(&mut f, &keys);
+        assert_eq!(outcome.attempted, 500);
+        assert_eq!(outcome.stored, 500);
+        assert_eq!(outcome.failures, 0);
+        assert!((outcome.load_factor - 500.0 / 1024.0).abs() < 1e-9);
+        assert!(outcome.seconds >= 0.0);
+    }
+
+    #[test]
+    fn fill_counts_failures_at_overflow() {
+        let mut f = filter();
+        let keys = KeyStream::new(2).take_vec(1200);
+        let outcome = fill(&mut f, &keys);
+        assert!(outcome.stored < outcome.attempted);
+        assert_eq!(outcome.failures, outcome.attempted - outcome.stored);
+        assert!(outcome.kicks_per_insert > 0.0);
+    }
+
+    #[test]
+    fn lookup_finds_all_positives() {
+        let mut f = filter();
+        let keys = KeyStream::new(3).take_vec(400);
+        fill(&mut f, &keys);
+        let outcome = lookup(&f, &keys);
+        assert_eq!(outcome.positives, 400, "no false negatives allowed");
+        assert_eq!(outcome.queries, 400);
+    }
+
+    #[test]
+    fn mixed_lookup_interleaves() {
+        let mut f = filter();
+        let keys = KeyStream::new(4).take_vec(300);
+        fill(&mut f, &keys);
+        let aliens = KeyStream::new(999).take_vec(300);
+        let outcome = lookup_mixed(&f, &keys, &aliens);
+        assert_eq!(outcome.queries, 600);
+        // All 300 positives must hit; aliens contribute ~0 extra.
+        assert!(outcome.positives >= 300);
+        assert!(outcome.positives < 320);
+    }
+
+    #[test]
+    fn fpr_is_low_for_aliens() {
+        let mut f = filter();
+        let keys = KeyStream::new(5).take_vec(900);
+        fill(&mut f, &keys);
+        let aliens = KeyStream::new(12345).take_vec(20_000);
+        let outcome = measure_fpr(&f, &aliens);
+        assert_eq!(outcome.queried, 20_000);
+        assert!(outcome.rate < 0.01, "fpr = {}", outcome.rate);
+    }
+
+    #[test]
+    fn fpr_empty_aliens() {
+        let f = filter();
+        let outcome = measure_fpr(&f, &[]);
+        assert_eq!(outcome.rate, 0.0);
+    }
+}

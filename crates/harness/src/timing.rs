@@ -1,0 +1,110 @@
+//! Wall-clock measurement helpers.
+
+use std::time::Instant;
+
+/// Times `f`, returning `(result, elapsed_seconds)`.
+pub fn time<T>(f: impl FnOnce() -> T) -> (T, f64) {
+    let start = Instant::now();
+    let result = f();
+    (result, start.elapsed().as_secs_f64())
+}
+
+/// Simple summary statistics over repeated measurements.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Summary {
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Sample standard deviation (0 for fewer than 2 samples).
+    pub stddev: f64,
+    /// Smallest sample.
+    pub min: f64,
+    /// Largest sample.
+    pub max: f64,
+    /// Number of samples.
+    pub count: usize,
+}
+
+impl Summary {
+    /// Summarizes `samples`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty slice.
+    pub fn of(samples: &[f64]) -> Self {
+        assert!(!samples.is_empty(), "cannot summarize zero samples");
+        let count = samples.len();
+        let mean = samples.iter().sum::<f64>() / count as f64;
+        let var = if count > 1 {
+            samples.iter().map(|s| (s - mean).powi(2)).sum::<f64>() / (count - 1) as f64
+        } else {
+            0.0
+        };
+        let min = samples.iter().copied().fold(f64::INFINITY, f64::min);
+        let max = samples.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        Self {
+            mean,
+            stddev: var.sqrt(),
+            min,
+            max,
+            count,
+        }
+    }
+}
+
+/// Converts seconds-per-`n`-operations into microseconds per operation.
+pub fn micros_per_op(total_seconds: f64, ops: usize) -> f64 {
+    if ops == 0 {
+        return 0.0;
+    }
+    total_seconds * 1e6 / ops as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn time_returns_result_and_positive_elapsed() {
+        let (value, secs) = time(|| (0..1000).sum::<u64>());
+        assert_eq!(value, 499_500);
+        assert!(secs >= 0.0);
+    }
+
+    #[test]
+    fn summary_of_constant_samples() {
+        let s = Summary::of(&[2.0, 2.0, 2.0]);
+        assert_eq!(s.mean, 2.0);
+        assert_eq!(s.stddev, 0.0);
+        assert_eq!(s.min, 2.0);
+        assert_eq!(s.max, 2.0);
+        assert_eq!(s.count, 3);
+    }
+
+    #[test]
+    fn summary_known_values() {
+        let s = Summary::of(&[1.0, 2.0, 3.0, 4.0]);
+        assert!((s.mean - 2.5).abs() < 1e-12);
+        // Sample stddev of 1..4 is sqrt(5/3).
+        assert!((s.stddev - (5.0f64 / 3.0).sqrt()).abs() < 1e-12);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 4.0);
+    }
+
+    #[test]
+    fn single_sample_has_zero_stddev() {
+        let s = Summary::of(&[7.0]);
+        assert_eq!(s.stddev, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero samples")]
+    fn empty_samples_panic() {
+        Summary::of(&[]);
+    }
+
+    #[test]
+    fn micros_per_op_conversion() {
+        assert!((micros_per_op(1.0, 1_000_000) - 1.0).abs() < 1e-12);
+        assert_eq!(micros_per_op(1.0, 0), 0.0);
+    }
+}

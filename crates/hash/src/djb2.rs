@@ -1,0 +1,74 @@
+//! Bernstein's DJB2 string hash (the paper's "DJBHash",
+//! <http://www.cse.yorku.ca/~oz/hash.html>).
+//!
+//! `hash = hash * 33 + byte`, starting from the magic constant 5381. DJB2
+//! is a deliberately simple multiplicative hash; the paper includes it in
+//! Table IV to show that vertical hashing's insertion-time advantage holds
+//! even under weak, cheap hash functions.
+
+/// DJB2 initial state.
+pub const DJB2_INIT: u64 = 5381;
+
+/// DJB2 accumulated in 64 bits.
+///
+/// # Examples
+///
+/// ```
+/// use vcf_hash::djb2_64;
+/// assert_eq!(djb2_64(b""), 5381);
+/// ```
+#[inline]
+pub fn djb2_64(data: &[u8]) -> u64 {
+    let mut hash = DJB2_INIT;
+    for &byte in data {
+        // hash * 33 + byte, expressed as shift-add exactly like the original.
+        hash = (hash << 5).wrapping_add(hash).wrapping_add(u64::from(byte));
+    }
+    hash
+}
+
+/// DJB2 accumulated in 32 bits (the original C formulation's width on
+/// 32-bit platforms).
+#[inline]
+pub fn djb2_32(data: &[u8]) -> u32 {
+    let mut hash = DJB2_INIT as u32;
+    for &byte in data {
+        hash = (hash << 5).wrapping_add(hash).wrapping_add(u32::from(byte));
+    }
+    hash
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_is_init() {
+        assert_eq!(djb2_64(b""), 5381);
+        assert_eq!(djb2_32(b""), 5381);
+    }
+
+    #[test]
+    fn single_byte_formula() {
+        // 5381 * 33 + 'a' (97) = 177670
+        assert_eq!(djb2_64(b"a"), 5381 * 33 + 97);
+    }
+
+    #[test]
+    fn multi_byte_formula() {
+        // Direct expansion of the recurrence for "ab".
+        let expected = (5381u64 * 33 + 97) * 33 + 98;
+        assert_eq!(djb2_64(b"ab"), expected);
+    }
+
+    #[test]
+    fn widths_agree_modulo_2_pow_32() {
+        let data = b"the quick brown fox";
+        assert_eq!(djb2_64(data) as u32, djb2_32(data));
+    }
+
+    #[test]
+    fn order_sensitive() {
+        assert_ne!(djb2_64(b"ab"), djb2_64(b"ba"));
+    }
+}

@@ -1,0 +1,193 @@
+//! Fowler–Noll–Vo hash functions (FNV-1 and FNV-1a, 32- and 64-bit).
+//!
+//! FNV is the paper's default hash function. The algorithm multiplies a
+//! running hash by a fixed prime and XORs in each input byte; the `1a`
+//! variant XORs first and multiplies second, which diffuses low-order bits
+//! slightly better and is the variant recommended by the FNV authors.
+//!
+//! Reference: <http://www.isthe.com/chongo/tech/comp/fnv/> (the paper's
+//! footnote 3).
+
+/// 32-bit FNV offset basis.
+pub const FNV32_OFFSET: u32 = 0x811c_9dc5;
+/// 32-bit FNV prime.
+pub const FNV32_PRIME: u32 = 0x0100_0193;
+/// 64-bit FNV offset basis.
+pub const FNV64_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+/// 64-bit FNV prime.
+pub const FNV64_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// FNV-1a, 64-bit: XOR the byte in, then multiply by the prime.
+///
+/// # Examples
+///
+/// ```
+/// use vcf_hash::fnv1a_64;
+/// assert_eq!(fnv1a_64(b""), 0xcbf29ce484222325);
+/// ```
+#[inline]
+pub fn fnv1a_64(data: &[u8]) -> u64 {
+    let mut hash = FNV64_OFFSET;
+    for &byte in data {
+        hash ^= u64::from(byte);
+        hash = hash.wrapping_mul(FNV64_PRIME);
+    }
+    hash
+}
+
+/// FNV-1, 64-bit: multiply by the prime, then XOR the byte in.
+///
+/// # Examples
+///
+/// ```
+/// use vcf_hash::fnv1_64;
+/// assert_eq!(fnv1_64(b""), 0xcbf29ce484222325);
+/// ```
+#[inline]
+pub fn fnv1_64(data: &[u8]) -> u64 {
+    let mut hash = FNV64_OFFSET;
+    for &byte in data {
+        hash = hash.wrapping_mul(FNV64_PRIME);
+        hash ^= u64::from(byte);
+    }
+    hash
+}
+
+/// FNV-1a, 32-bit.
+///
+/// # Examples
+///
+/// ```
+/// use vcf_hash::fnv1a_32;
+/// assert_eq!(fnv1a_32(b""), 0x811c9dc5);
+/// ```
+#[inline]
+pub fn fnv1a_32(data: &[u8]) -> u32 {
+    let mut hash = FNV32_OFFSET;
+    for &byte in data {
+        hash ^= u32::from(byte);
+        hash = hash.wrapping_mul(FNV32_PRIME);
+    }
+    hash
+}
+
+/// FNV-1, 32-bit.
+#[inline]
+pub fn fnv1_32(data: &[u8]) -> u32 {
+    let mut hash = FNV32_OFFSET;
+    for &byte in data {
+        hash = hash.wrapping_mul(FNV32_PRIME);
+        hash ^= u32::from(byte);
+    }
+    hash
+}
+
+/// Streaming FNV-1a 64-bit hasher for incremental input.
+///
+/// Produces bit-identical results to [`fnv1a_64`] over the concatenated
+/// input.
+///
+/// # Examples
+///
+/// ```
+/// use vcf_hash::fnv::Fnv1a64;
+/// use vcf_hash::fnv1a_64;
+///
+/// let mut hasher = Fnv1a64::new();
+/// hasher.update(b"foo");
+/// hasher.update(b"bar");
+/// assert_eq!(hasher.finish(), fnv1a_64(b"foobar"));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Fnv1a64 {
+    state: u64,
+}
+
+impl Fnv1a64 {
+    /// Creates a hasher initialized to the FNV-1a offset basis.
+    pub const fn new() -> Self {
+        Self {
+            state: FNV64_OFFSET,
+        }
+    }
+
+    /// Absorbs `data` into the running hash.
+    #[inline]
+    pub fn update(&mut self, data: &[u8]) {
+        for &byte in data {
+            self.state ^= u64::from(byte);
+            self.state = self.state.wrapping_mul(FNV64_PRIME);
+        }
+    }
+
+    /// Returns the current hash value.
+    #[inline]
+    pub fn finish(&self) -> u64 {
+        self.state
+    }
+}
+
+impl Default for Fnv1a64 {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // Published vectors from the FNV reference page test suite.
+    #[test]
+    fn fnv1a_64_known_vectors() {
+        assert_eq!(fnv1a_64(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a_64(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv1a_64(b"b"), 0xaf63_df4c_8601_f1a5);
+        assert_eq!(fnv1a_64(b"foobar"), 0x8594_4171_f739_67e8);
+    }
+
+    #[test]
+    fn fnv1_64_known_vectors() {
+        assert_eq!(fnv1_64(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1_64(b"a"), 0xaf63_bd4c_8601_b7be);
+        assert_eq!(fnv1_64(b"foobar"), 0x340d_8765_a4dd_a9c2);
+    }
+
+    #[test]
+    fn fnv1a_32_known_vectors() {
+        assert_eq!(fnv1a_32(b""), 0x811c_9dc5);
+        assert_eq!(fnv1a_32(b"a"), 0xe40c_292c);
+        assert_eq!(fnv1a_32(b"foobar"), 0xbf9c_f968);
+    }
+
+    #[test]
+    fn fnv1_32_known_vectors() {
+        assert_eq!(fnv1_32(b""), 0x811c_9dc5);
+        assert_eq!(fnv1_32(b"a"), 0x050c_5d7e);
+        assert_eq!(fnv1_32(b"foobar"), 0x31f0_b262);
+    }
+
+    #[test]
+    fn streaming_matches_oneshot() {
+        let data = b"the quick brown fox jumps over the lazy dog";
+        for split in 0..data.len() {
+            let mut h = Fnv1a64::new();
+            h.update(&data[..split]);
+            h.update(&data[split..]);
+            assert_eq!(h.finish(), fnv1a_64(data), "split at {split}");
+        }
+    }
+
+    #[test]
+    fn variants_differ_on_nonempty_input() {
+        assert_ne!(fnv1_64(b"x"), fnv1a_64(b"x"));
+        assert_ne!(fnv1_32(b"x"), fnv1a_32(b"x"));
+    }
+
+    #[test]
+    fn single_bit_flip_changes_hash() {
+        let a = fnv1a_64(b"\x00\x00\x00\x00");
+        let b = fnv1a_64(b"\x01\x00\x00\x00");
+        assert_ne!(a, b);
+    }
+}

@@ -1,0 +1,229 @@
+//! MurmurHash3 (Austin Appleby, public domain), reimplemented from the
+//! reference `MurmurHash3.cpp`.
+//!
+//! Two variants are provided:
+//!
+//! * [`murmur3_x86_32`] — the 32-bit variant, verified against the widely
+//!   published SMHasher verification vectors.
+//! * [`murmur3_x64_128`] — the 128-bit x64 variant used by the paper's
+//!   Table IV experiments; [`murmur3_x64_64`] truncates it to the low
+//!   64 bits.
+
+const C1_32: u32 = 0xcc9e_2d51;
+const C2_32: u32 = 0x1b87_3593;
+
+/// MurmurHash3 x86 32-bit.
+///
+/// # Examples
+///
+/// ```
+/// use vcf_hash::murmur3_x86_32;
+/// assert_eq!(murmur3_x86_32(b"", 0), 0);
+/// assert_eq!(murmur3_x86_32(b"", 1), 0x514e28b7);
+/// ```
+pub fn murmur3_x86_32(data: &[u8], seed: u32) -> u32 {
+    let mut h = seed;
+    let mut chunks = data.chunks_exact(4);
+    for chunk in &mut chunks {
+        let mut k = u32::from_le_bytes([chunk[0], chunk[1], chunk[2], chunk[3]]);
+        k = k.wrapping_mul(C1_32);
+        k = k.rotate_left(15);
+        k = k.wrapping_mul(C2_32);
+        h ^= k;
+        h = h.rotate_left(13);
+        h = h.wrapping_mul(5).wrapping_add(0xe654_6b64);
+    }
+
+    let tail = chunks.remainder();
+    if !tail.is_empty() {
+        let mut k: u32 = 0;
+        for (i, &byte) in tail.iter().enumerate() {
+            k ^= u32::from(byte) << (8 * i);
+        }
+        k = k.wrapping_mul(C1_32);
+        k = k.rotate_left(15);
+        k = k.wrapping_mul(C2_32);
+        h ^= k;
+    }
+
+    h ^= data.len() as u32;
+    fmix32(h)
+}
+
+#[inline]
+fn fmix32(mut h: u32) -> u32 {
+    h ^= h >> 16;
+    h = h.wrapping_mul(0x85eb_ca6b);
+    h ^= h >> 13;
+    h = h.wrapping_mul(0xc2b2_ae35);
+    h ^= h >> 16;
+    h
+}
+
+const C1_64: u64 = 0x87c3_7b91_1142_53d5;
+const C2_64: u64 = 0x4cf5_ad43_2745_937f;
+
+/// MurmurHash3 x64 128-bit. Returns `(h1, h2)`, the two 64-bit halves in
+/// the order the reference implementation emits them.
+///
+/// # Examples
+///
+/// ```
+/// use vcf_hash::murmur3_x64_128;
+/// // The empty input with seed 0 hashes to (0, 0) by construction.
+/// assert_eq!(murmur3_x64_128(b"", 0), (0, 0));
+/// ```
+pub fn murmur3_x64_128(data: &[u8], seed: u64) -> (u64, u64) {
+    let mut h1 = seed;
+    let mut h2 = seed;
+
+    let mut chunks = data.chunks_exact(16);
+    for chunk in &mut chunks {
+        let mut k1 = u64::from_le_bytes(chunk[0..8].try_into().expect("8-byte block"));
+        let mut k2 = u64::from_le_bytes(chunk[8..16].try_into().expect("8-byte block"));
+
+        k1 = k1.wrapping_mul(C1_64);
+        k1 = k1.rotate_left(31);
+        k1 = k1.wrapping_mul(C2_64);
+        h1 ^= k1;
+        h1 = h1.rotate_left(27);
+        h1 = h1.wrapping_add(h2);
+        h1 = h1.wrapping_mul(5).wrapping_add(0x52dc_e729);
+
+        k2 = k2.wrapping_mul(C2_64);
+        k2 = k2.rotate_left(33);
+        k2 = k2.wrapping_mul(C1_64);
+        h2 ^= k2;
+        h2 = h2.rotate_left(31);
+        h2 = h2.wrapping_add(h1);
+        h2 = h2.wrapping_mul(5).wrapping_add(0x3849_5ab5);
+    }
+
+    let tail = chunks.remainder();
+    if !tail.is_empty() {
+        let mut k1: u64 = 0;
+        let mut k2: u64 = 0;
+        for (i, &byte) in tail.iter().enumerate() {
+            if i < 8 {
+                k1 ^= u64::from(byte) << (8 * i);
+            } else {
+                k2 ^= u64::from(byte) << (8 * (i - 8));
+            }
+        }
+        if tail.len() > 8 {
+            k2 = k2.wrapping_mul(C2_64);
+            k2 = k2.rotate_left(33);
+            k2 = k2.wrapping_mul(C1_64);
+            h2 ^= k2;
+        }
+        k1 = k1.wrapping_mul(C1_64);
+        k1 = k1.rotate_left(31);
+        k1 = k1.wrapping_mul(C2_64);
+        h1 ^= k1;
+    }
+
+    let len = data.len() as u64;
+    h1 ^= len;
+    h2 ^= len;
+    h1 = h1.wrapping_add(h2);
+    h2 = h2.wrapping_add(h1);
+    h1 = fmix64(h1);
+    h2 = fmix64(h2);
+    h1 = h1.wrapping_add(h2);
+    h2 = h2.wrapping_add(h1);
+    (h1, h2)
+}
+
+/// MurmurHash3 x64 128-bit truncated to its first 64-bit half — the form
+/// the filters consume.
+///
+/// # Examples
+///
+/// ```
+/// use vcf_hash::{murmur3_x64_64, murmur3_x64_128};
+/// let data = b"online applications";
+/// assert_eq!(murmur3_x64_64(data, 7), murmur3_x64_128(data, 7).0);
+/// ```
+#[inline]
+pub fn murmur3_x64_64(data: &[u8], seed: u64) -> u64 {
+    murmur3_x64_128(data, seed).0
+}
+
+#[inline]
+fn fmix64(mut k: u64) -> u64 {
+    k ^= k >> 33;
+    k = k.wrapping_mul(0xff51_afd7_ed55_8ccd);
+    k ^= k >> 33;
+    k = k.wrapping_mul(0xc4ce_b9fe_1a85_ec53);
+    k ^= k >> 33;
+    k
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // Published verification vectors for MurmurHash3 x86_32 (SMHasher and
+    // the widely reproduced Stack Overflow vector table).
+    #[test]
+    fn x86_32_empty_input_seeds() {
+        assert_eq!(murmur3_x86_32(b"", 0), 0x0000_0000);
+        assert_eq!(murmur3_x86_32(b"", 1), 0x514e_28b7);
+        assert_eq!(murmur3_x86_32(b"", 0xffff_ffff), 0x81f1_6f39);
+    }
+
+    #[test]
+    fn x86_32_zero_bytes() {
+        assert_eq!(murmur3_x86_32(&[0x00], 0), 0x514e_28b7);
+        assert_eq!(murmur3_x86_32(&[0x00, 0x00], 0), 0x30f4_c306);
+        assert_eq!(murmur3_x86_32(&[0x00, 0x00, 0x00], 0), 0x85f0_b427);
+        assert_eq!(murmur3_x86_32(&[0x00, 0x00, 0x00, 0x00], 0), 0x2362_f9de);
+    }
+
+    #[test]
+    fn x86_32_pattern_bytes() {
+        assert_eq!(murmur3_x86_32(&[0xff, 0xff, 0xff, 0xff], 0), 0x7629_3b50);
+        assert_eq!(murmur3_x86_32(&[0x21, 0x43, 0x65, 0x87], 0), 0xf55b_516b);
+        assert_eq!(
+            murmur3_x86_32(&[0x21, 0x43, 0x65, 0x87], 0x5082_edee),
+            0x2362_f9de
+        );
+        assert_eq!(murmur3_x86_32(&[0x21, 0x43, 0x65], 0), 0x7e4a_8634);
+        assert_eq!(murmur3_x86_32(&[0x21, 0x43], 0), 0xa0f7_b07a);
+        assert_eq!(murmur3_x86_32(&[0x21], 0), 0x7266_1cf4);
+    }
+
+    #[test]
+    fn x64_128_empty_is_zero_with_zero_seed() {
+        assert_eq!(murmur3_x64_128(b"", 0), (0, 0));
+    }
+
+    #[test]
+    fn x64_64_is_first_half() {
+        for len in 0..40 {
+            let data: Vec<u8> = (0..len).map(|i| (i * 37 + 11) as u8).collect();
+            assert_eq!(murmur3_x64_64(&data, 99), murmur3_x64_128(&data, 99).0);
+        }
+    }
+
+    #[test]
+    fn x64_128_tail_lengths_all_distinct() {
+        // Every tail length 0..=16 must hit a distinct code path and yield
+        // a distinct hash for distinct inputs.
+        let mut seen = std::collections::HashSet::new();
+        for len in 0..=33 {
+            let data: Vec<u8> = (0..len).map(|i| i as u8).collect();
+            assert!(
+                seen.insert(murmur3_x64_128(&data, 0)),
+                "collision at len {len}"
+            );
+        }
+    }
+
+    #[test]
+    fn seed_changes_output() {
+        let data = b"seed sensitivity";
+        assert_ne!(murmur3_x64_64(data, 0), murmur3_x64_64(data, 1));
+        assert_ne!(murmur3_x86_32(data, 0), murmur3_x86_32(data, 1));
+    }
+}

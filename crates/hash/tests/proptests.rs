@@ -1,0 +1,97 @@
+//! Property-based tests for the hash substrates.
+
+use proptest::prelude::*;
+use vcf_hash::fnv::Fnv1a64;
+use vcf_hash::{djb2_64, fnv1a_64, mix64, murmur3_x64_128, murmur3_x86_32, HashKind, SplitMix64};
+
+proptest! {
+    /// Streaming FNV must equal one-shot FNV for every split of every
+    /// input.
+    #[test]
+    fn fnv_streaming_equals_oneshot(data in prop::collection::vec(any::<u8>(), 0..256), split in any::<prop::sample::Index>()) {
+        let at = if data.is_empty() { 0 } else { split.index(data.len()) };
+        let mut hasher = Fnv1a64::new();
+        hasher.update(&data[..at]);
+        hasher.update(&data[at..]);
+        prop_assert_eq!(hasher.finish(), fnv1a_64(&data));
+    }
+
+    /// Hashes must be pure functions of their input.
+    #[test]
+    fn all_kinds_deterministic(data in prop::collection::vec(any::<u8>(), 0..128)) {
+        for kind in HashKind::ALL {
+            prop_assert_eq!(kind.hash64(&data), kind.hash64(&data));
+        }
+    }
+
+    /// Appending a byte must change the FNV and DJB2 hashes (both are
+    /// injective-in-length for fixed prefixes: h' = h*P ^ b etc. cannot
+    /// equal h unless the math degenerates, which it provably does not
+    /// for FNV's odd prime and DJB2's *33).
+    #[test]
+    fn extension_changes_hash(data in prop::collection::vec(any::<u8>(), 0..64), extra in any::<u8>()) {
+        let mut extended = data.clone();
+        extended.push(extra);
+        prop_assert_ne!(fnv1a_64(&data), fnv1a_64(&extended));
+        prop_assert_ne!(djb2_64(&data), djb2_64(&extended));
+    }
+
+    /// Murmur3 x64_128 tail handling: inputs differing in their final
+    /// byte must hash differently (each tail byte feeds the k-lane).
+    #[test]
+    fn murmur_tail_sensitivity(data in prop::collection::vec(any::<u8>(), 1..64), flip in any::<u8>()) {
+        prop_assume!(flip != 0);
+        let mut tweaked = data.clone();
+        let last = tweaked.len() - 1;
+        tweaked[last] ^= flip;
+        prop_assert_ne!(murmur3_x64_128(&data, 0), murmur3_x64_128(&tweaked, 0));
+        prop_assert_ne!(murmur3_x86_32(&data, 0), murmur3_x86_32(&tweaked, 0));
+    }
+
+    /// Seed sensitivity for Murmur3.
+    #[test]
+    fn murmur_seed_sensitivity(data in prop::collection::vec(any::<u8>(), 0..64), s1 in any::<u64>(), s2 in any::<u64>()) {
+        prop_assume!(s1 != s2);
+        prop_assert_ne!(murmur3_x64_128(&data, s1), murmur3_x64_128(&data, s2));
+    }
+
+    /// mix64 is a bijection: no two distinct inputs in a sampled window
+    /// may collide, and it must be invertible in distribution (checked
+    /// cheaply via distinctness).
+    #[test]
+    fn mix64_injective_on_pairs(a in any::<u64>(), b in any::<u64>()) {
+        prop_assume!(a != b);
+        prop_assert_ne!(mix64(a), mix64(b));
+    }
+
+    /// SplitMix64 streams from equal seeds agree; from different seeds
+    /// they diverge within a few outputs.
+    #[test]
+    fn splitmix_seed_determines_stream(seed in any::<u64>()) {
+        let mut a = SplitMix64::new(seed);
+        let mut b = SplitMix64::new(seed);
+        for _ in 0..16 {
+            prop_assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = SplitMix64::new(seed.wrapping_add(1));
+        let first_eight: Vec<u64> = (0..8).map(|_| c.next_u64()).collect();
+        let mut d = SplitMix64::new(seed);
+        let original: Vec<u64> = (0..8).map(|_| d.next_u64()).collect();
+        prop_assert_ne!(first_eight, original);
+    }
+
+    /// next_below never violates its bound and hits both halves of the
+    /// range over a modest sample.
+    #[test]
+    fn next_below_uniformish(seed in any::<u64>(), bound in 2u64..1000) {
+        let mut g = SplitMix64::new(seed);
+        let mut low = false;
+        let mut high = false;
+        for _ in 0..200 {
+            let v = g.next_below(bound);
+            prop_assert!(v < bound);
+            if v < bound / 2 { low = true; } else { high = true; }
+        }
+        prop_assert!(low && high, "200 draws should cover both halves of [0, {bound})");
+    }
+}

@@ -1,0 +1,208 @@
+//! A Bloom filter indexed by vertical hashing: `k` probe positions from
+//! **one** hash computation.
+//!
+//! The classic Bloom filter computes `k` independent hashes per operation
+//! (or two, with Kirsch–Mitzenmacher double hashing). Applying the VCF
+//! paper's Section III-C methodology instead: one hash yields a base
+//! position and an offset fragment, and `k` bitmasks project the fragment
+//! onto `k` positions — `p_e = base ⊕ (hᶠ ∧ bm_e)` (Equ. 6 over the bit
+//! array instead of over buckets).
+
+use vcf_hash::{mix64, HashKind, SplitMix64};
+use vcf_traits::BuildError;
+
+/// A vertical-hashing Bloom filter: `k` probe bits per item from a single
+/// hash computation.
+///
+/// Like any Bloom filter: no false negatives, no deletion. The positions
+/// of one item are correlated through the shared fragment, which costs a
+/// little accuracy relative to independent hashing; the tests quantify it
+/// and the `sketch_ablation` bench measures the speedup.
+///
+/// # Examples
+///
+/// ```
+/// use vcf_sketches::VerticalBloomFilter;
+///
+/// let mut bf = VerticalBloomFilter::for_items(10_000, 0.01, 7)?;
+/// bf.insert(b"event");
+/// assert!(bf.contains(b"event"));
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct VerticalBloomFilter {
+    words: Vec<u64>,
+    bits: usize,
+    masks: Vec<u64>,
+    hash: HashKind,
+    items: usize,
+}
+
+impl VerticalBloomFilter {
+    /// Builds a filter with `bits` positions (power of two) and `hashes`
+    /// probe positions per item.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`BuildError`] when `bits` is not a power of two ≥ 64 or
+    /// `hashes` is outside `1..=24`.
+    pub fn new(bits: usize, hashes: u32, seed: u64) -> Result<Self, BuildError> {
+        if !bits.is_power_of_two() || bits < 64 {
+            return Err(BuildError::InvalidConfig {
+                reason: format!("bit count must be a power of two >= 64, got {bits}"),
+            });
+        }
+        if hashes == 0 || hashes > 24 {
+            return Err(BuildError::InvalidConfig {
+                reason: format!("hash count must be 1..=24, got {hashes}"),
+            });
+        }
+        let domain = bits as u64 - 1;
+        let mut masks = vec![0u64];
+        let mut gen = SplitMix64::new(seed ^ 0x0042_4c4f_4f4d); // "BLOOM"
+        while masks.len() < hashes as usize {
+            let candidate = gen.next_u64() & domain;
+            if candidate != 0 && !masks.contains(&candidate) {
+                masks.push(candidate);
+            }
+        }
+        Ok(Self {
+            words: vec![0u64; bits / 64],
+            bits,
+            masks,
+            hash: HashKind::Fnv1a,
+            items: 0,
+        })
+    }
+
+    /// Optimal-geometry constructor, mirroring the classic BF sizing.
+    ///
+    /// # Errors
+    ///
+    /// Propagates geometry errors from [`VerticalBloomFilter::new`].
+    pub fn for_items(items: usize, fpr: f64, seed: u64) -> Result<Self, BuildError> {
+        let n = items.max(1) as f64;
+        let fpr = fpr.clamp(1e-12, 0.5);
+        let bits = (-n * fpr.ln() / (2f64.ln() * 2f64.ln())).ceil() as usize;
+        let bits = bits.max(64).next_power_of_two();
+        let hashes = ((bits as f64 / n) * 2f64.ln()).round().clamp(1.0, 24.0) as u32;
+        Self::new(bits, hashes, seed)
+    }
+
+    /// Bit-array length.
+    pub fn bits(&self) -> usize {
+        self.bits
+    }
+
+    /// Probe positions per item (`k`).
+    pub fn hashes(&self) -> usize {
+        self.masks.len()
+    }
+
+    /// Items inserted.
+    pub fn len(&self) -> usize {
+        self.items
+    }
+
+    /// Whether no items were inserted.
+    pub fn is_empty(&self) -> bool {
+        self.items == 0
+    }
+
+    /// One hash computation → all `k` positions.
+    #[inline]
+    fn positions(&self, item: &[u8]) -> impl Iterator<Item = usize> + '_ {
+        let h = self.hash.hash64(item);
+        let base = h & (self.bits as u64 - 1);
+        let fragment = mix64(h >> 17);
+        self.masks
+            .iter()
+            .map(move |mask| (base ^ (fragment & mask)) as usize)
+    }
+
+    /// Inserts `item` (never fails; Bloom filters cannot fill up).
+    pub fn insert(&mut self, item: &[u8]) {
+        let positions: Vec<usize> = self.positions(item).collect();
+        for position in positions {
+            self.words[position / 64] |= 1u64 << (position % 64);
+        }
+        self.items += 1;
+    }
+
+    /// Membership test: false positives possible, false negatives not.
+    pub fn contains(&self, item: &[u8]) -> bool {
+        self.positions(item)
+            .all(|p| self.words[p / 64] >> (p % 64) & 1 == 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key(i: u64) -> Vec<u8> {
+        format!("vbf-{i}").into_bytes()
+    }
+
+    #[test]
+    fn rejects_bad_geometry() {
+        assert!(VerticalBloomFilter::new(100, 4, 1).is_err());
+        assert!(VerticalBloomFilter::new(32, 4, 1).is_err());
+        assert!(VerticalBloomFilter::new(1 << 10, 0, 1).is_err());
+        assert!(VerticalBloomFilter::new(1 << 10, 25, 1).is_err());
+        assert!(VerticalBloomFilter::new(1 << 10, 8, 1).is_ok());
+    }
+
+    #[test]
+    fn no_false_negatives() {
+        let mut bf = VerticalBloomFilter::for_items(20_000, 0.01, 3).unwrap();
+        for i in 0..20_000 {
+            bf.insert(&key(i));
+        }
+        for i in 0..20_000 {
+            assert!(bf.contains(&key(i)), "item {i} lost");
+        }
+    }
+
+    #[test]
+    fn fpr_within_striking_distance_of_classic() {
+        // Correlated positions cost accuracy; require the measured FPR to
+        // stay within ~6x of the design target (classic achieves ~1x; the
+        // headroom documents the one-hash trade-off honestly).
+        let mut bf = VerticalBloomFilter::for_items(30_000, 0.01, 5).unwrap();
+        for i in 0..30_000 {
+            bf.insert(&key(i));
+        }
+        let aliens = 100_000u64;
+        let fp = (0..aliens)
+            .filter(|i| bf.contains(&key(1_000_000 + i)))
+            .count();
+        let fpr = fp as f64 / aliens as f64;
+        assert!(fpr < 0.06, "vertical BF fpr={fpr}");
+        assert!(fpr > 1e-5, "suspiciously perfect — geometry bug?");
+    }
+
+    #[test]
+    fn masks_distinct_and_positions_spread() {
+        let bf = VerticalBloomFilter::new(1 << 12, 10, 9).unwrap();
+        let mut masks = bf.masks.clone();
+        masks.sort_unstable();
+        masks.dedup();
+        assert_eq!(masks.len(), 10);
+        let positions: Vec<usize> = bf.positions(b"probe").collect();
+        let mut unique = positions.clone();
+        unique.sort_unstable();
+        unique.dedup();
+        assert!(unique.len() >= 8, "positions too correlated: {positions:?}");
+    }
+
+    #[test]
+    fn accessors() {
+        let mut bf = VerticalBloomFilter::new(1 << 10, 6, 2).unwrap();
+        assert_eq!(bf.bits(), 1 << 10);
+        assert_eq!(bf.hashes(), 6);
+        assert!(bf.is_empty());
+        bf.insert(b"x");
+        assert_eq!(bf.len(), 1);
+    }
+}

@@ -1,0 +1,388 @@
+//! Count-Min sketches: classic (d hashes) and vertical (one hash).
+
+use vcf_hash::{mix64, HashKind, SplitMix64};
+use vcf_traits::BuildError;
+
+/// Common behaviour of both Count-Min variants.
+pub trait CountMin {
+    /// Adds `count` occurrences of `item`.
+    fn increment(&mut self, item: &[u8], count: u64);
+
+    /// Point-query estimate: an upper bound on the true count
+    /// (Count-Min never undercounts).
+    fn estimate(&self, item: &[u8]) -> u64;
+
+    /// Number of rows `d`.
+    fn depth(&self) -> usize;
+
+    /// Columns per row `w`.
+    fn width(&self) -> usize;
+
+    /// Total increments absorbed (`‖f‖₁`).
+    fn total(&self) -> u64;
+
+    /// The additive error bound `ε·N` that holds with probability
+    /// `1 − (1/2)^d` under the standard analysis (`ε = e/w` for classic;
+    /// the vertical variant targets the same operating point).
+    fn error_bound(&self) -> f64 {
+        core::f64::consts::E / self.width() as f64 * self.total() as f64
+    }
+}
+
+fn validate(width: usize, depth: usize) -> Result<(), BuildError> {
+    if !width.is_power_of_two() || width < 4 {
+        return Err(BuildError::InvalidConfig {
+            reason: format!("width must be a power of two >= 4, got {width}"),
+        });
+    }
+    if depth == 0 || depth > 16 {
+        return Err(BuildError::InvalidConfig {
+            reason: format!("depth must be 1..=16, got {depth}"),
+        });
+    }
+    Ok(())
+}
+
+/// The textbook Count-Min sketch: `d` rows, each indexed by an
+/// independent hash of the item.
+///
+/// # Examples
+///
+/// ```
+/// use vcf_sketches::{ClassicCountMin, CountMin};
+///
+/// let mut cm = ClassicCountMin::new(1 << 10, 4, 7)?;
+/// cm.increment(b"x", 3);
+/// assert!(cm.estimate(b"x") >= 3);
+/// assert_eq!(cm.estimate(b"never-seen") , 0);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct ClassicCountMin {
+    rows: Vec<Vec<u64>>,
+    seeds: Vec<u64>,
+    hash: HashKind,
+    total: u64,
+}
+
+impl ClassicCountMin {
+    /// Builds a sketch of `depth` rows × `width` columns.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`BuildError`] when `width` is not a power of two ≥ 4 or
+    /// `depth` is outside `1..=16`.
+    pub fn new(width: usize, depth: usize, seed: u64) -> Result<Self, BuildError> {
+        validate(width, depth)?;
+        let mut gen = SplitMix64::new(seed);
+        Ok(Self {
+            rows: vec![vec![0u64; width]; depth],
+            seeds: (0..depth).map(|_| gen.next_u64()).collect(),
+            hash: HashKind::Fnv1a,
+            total: 0,
+        })
+    }
+
+    #[inline]
+    fn column(&self, row: usize, item: &[u8]) -> usize {
+        // One full hash computation per row: the cost vertical hashing
+        // removes. Seed-mixing the item hash per row keeps the rows
+        // pairwise independent in practice.
+        let h = self.hash.hash64(item);
+        (mix64(h ^ self.seeds[row]) as usize) & (self.rows[row].len() - 1)
+    }
+}
+
+impl CountMin for ClassicCountMin {
+    fn increment(&mut self, item: &[u8], count: u64) {
+        for row in 0..self.rows.len() {
+            let column = self.column(row, item);
+            self.rows[row][column] = self.rows[row][column].saturating_add(count);
+        }
+        self.total += count;
+    }
+
+    fn estimate(&self, item: &[u8]) -> u64 {
+        (0..self.rows.len())
+            .map(|row| self.rows[row][self.column(row, item)])
+            .min()
+            .unwrap_or(0)
+    }
+
+    fn depth(&self) -> usize {
+        self.rows.len()
+    }
+
+    fn width(&self) -> usize {
+        self.rows[0].len()
+    }
+
+    fn total(&self) -> u64 {
+        self.total
+    }
+}
+
+/// A Count-Min sketch indexed by **generalized vertical hashing**: one
+/// hash of the item yields a base column `c₁` and an offset fragment
+/// `hᶠ`; row `e` uses column `c₁ ⊕ (hᶠ ∧ bm_e)` with per-row bitmasks
+/// (Equ. 6 of the VCF paper, applied to sketch rows instead of candidate
+/// buckets).
+///
+/// One hash computation per update/query instead of `d` — the paper's
+/// Section III-C speed argument — at the cost of weaker cross-row
+/// independence (rows share the fragment `hᶠ`; masks keep their projected
+/// bits distinct). The Count-Min *upper-bound* guarantee is structural and
+/// survives unchanged; accuracy in practice is compared in the tests and
+/// the `sketch_ablation` bench.
+///
+/// # Examples
+///
+/// ```
+/// use vcf_sketches::{CountMin, VerticalCountMin};
+///
+/// let mut cm = VerticalCountMin::new(1 << 10, 4, 7)?;
+/// cm.increment(b"flow", 2);
+/// cm.increment(b"flow", 1);
+/// assert!(cm.estimate(b"flow") >= 3);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct VerticalCountMin {
+    rows: Vec<Vec<u64>>,
+    /// Per-row offset masks over the column-index domain; `masks[0] = 0`
+    /// (row 0 uses the base column), the rest are distinct and non-empty.
+    masks: Vec<u64>,
+    hash: HashKind,
+    total: u64,
+}
+
+impl VerticalCountMin {
+    /// Builds a sketch of `depth` rows × `width` columns with
+    /// deterministic per-row masks derived from `seed`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`BuildError`] for invalid geometry, or when `width` is
+    /// too small to host `depth − 1` distinct non-trivial masks.
+    pub fn new(width: usize, depth: usize, seed: u64) -> Result<Self, BuildError> {
+        validate(width, depth)?;
+        let domain = width as u64 - 1;
+        if depth as u64 > domain {
+            return Err(BuildError::InvalidConfig {
+                reason: format!("cannot derive {depth} distinct masks over width {width}"),
+            });
+        }
+        let mut masks = vec![0u64];
+        let mut gen = SplitMix64::new(seed ^ 0x536b_6574); // "Sket"
+        while masks.len() < depth {
+            let candidate = gen.next_u64() & domain;
+            if candidate != 0 && !masks.contains(&candidate) {
+                masks.push(candidate);
+            }
+        }
+        Ok(Self {
+            rows: vec![vec![0u64; width]; depth],
+            masks,
+            hash: HashKind::Fnv1a,
+            total: 0,
+        })
+    }
+
+    /// The per-row columns for an item, from one hash computation.
+    #[inline]
+    fn columns(&self, item: &[u8]) -> impl Iterator<Item = usize> + '_ {
+        let h = self.hash.hash64(item);
+        let width_mask = self.rows[0].len() as u64 - 1;
+        let base = h & width_mask;
+        // The offset fragment plays the role of hash(η) in Equ. 6. Mixing
+        // the high half keeps it independent of the base column.
+        let fragment = mix64(h >> 32);
+        self.masks
+            .iter()
+            .map(move |mask| (base ^ (fragment & mask)) as usize)
+    }
+}
+
+impl CountMin for VerticalCountMin {
+    fn increment(&mut self, item: &[u8], count: u64) {
+        let columns: Vec<usize> = self.columns(item).collect();
+        for (row, column) in columns.into_iter().enumerate() {
+            self.rows[row][column] = self.rows[row][column].saturating_add(count);
+        }
+        self.total += count;
+    }
+
+    fn estimate(&self, item: &[u8]) -> u64 {
+        self.columns(item)
+            .enumerate()
+            .map(|(row, column)| self.rows[row][column])
+            .min()
+            .unwrap_or(0)
+    }
+
+    fn depth(&self) -> usize {
+        self.rows.len()
+    }
+
+    fn width(&self) -> usize {
+        self.rows[0].len()
+    }
+
+    fn total(&self) -> u64 {
+        self.total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vcf_hash::SplitMix64;
+
+    fn key(i: u64) -> Vec<u8> {
+        format!("cm-{i}").into_bytes()
+    }
+
+    fn sketches() -> (ClassicCountMin, VerticalCountMin) {
+        (
+            ClassicCountMin::new(1 << 12, 4, 9).unwrap(),
+            VerticalCountMin::new(1 << 12, 4, 9).unwrap(),
+        )
+    }
+
+    #[test]
+    fn rejects_bad_geometry() {
+        assert!(ClassicCountMin::new(100, 4, 1).is_err()); // not pow2
+        assert!(ClassicCountMin::new(1 << 10, 0, 1).is_err());
+        assert!(ClassicCountMin::new(1 << 10, 17, 1).is_err());
+        assert!(VerticalCountMin::new(100, 4, 1).is_err());
+        assert!(VerticalCountMin::new(1 << 10, 0, 1).is_err());
+    }
+
+    #[test]
+    fn never_undercounts() {
+        let (mut classic, mut vertical) = sketches();
+        let mut rng = SplitMix64::new(7);
+        let mut truth = std::collections::HashMap::new();
+        for _ in 0..20_000 {
+            let k = rng.next_below(500);
+            let c = 1 + rng.next_below(4);
+            classic.increment(&key(k), c);
+            vertical.increment(&key(k), c);
+            *truth.entry(k).or_insert(0u64) += c;
+        }
+        for (k, &t) in &truth {
+            assert!(
+                classic.estimate(&key(*k)) >= t,
+                "classic undercounted key {k}"
+            );
+            assert!(
+                vertical.estimate(&key(*k)) >= t,
+                "vertical undercounted key {k}"
+            );
+        }
+    }
+
+    #[test]
+    fn error_within_bound_for_both() {
+        let (mut classic, mut vertical) = sketches();
+        let mut rng = SplitMix64::new(11);
+        let mut truth = std::collections::HashMap::new();
+        for _ in 0..50_000 {
+            let k = rng.next_below(2_000);
+            classic.increment(&key(k), 1);
+            vertical.increment(&key(k), 1);
+            *truth.entry(k).or_insert(0u64) += 1;
+        }
+        let bound = classic.error_bound();
+        let mut classic_bad = 0usize;
+        let mut vertical_bad = 0usize;
+        for (k, &t) in &truth {
+            if (classic.estimate(&key(*k)) - t) as f64 > bound {
+                classic_bad += 1;
+            }
+            if (vertical.estimate(&key(*k)) - t) as f64 > bound {
+                vertical_bad += 1;
+            }
+        }
+        // The ε·N bound holds w.p. 1 − 2^-d per query; allow a small tail.
+        let tolerance = truth.len() / 8;
+        assert!(
+            classic_bad <= tolerance,
+            "classic exceeded bound {classic_bad} times"
+        );
+        assert!(
+            vertical_bad <= tolerance,
+            "vertical exceeded bound {vertical_bad} times"
+        );
+    }
+
+    #[test]
+    fn vertical_accuracy_comparable_to_classic() {
+        let (mut classic, mut vertical) = sketches();
+        let mut rng = SplitMix64::new(13);
+        let mut truth = std::collections::HashMap::new();
+        for _ in 0..100_000 {
+            let k = rng.next_below(5_000);
+            classic.increment(&key(k), 1);
+            vertical.increment(&key(k), 1);
+            *truth.entry(k).or_insert(0u64) += 1;
+        }
+        let mean_err = |est: &dyn Fn(&[u8]) -> u64| {
+            truth
+                .iter()
+                .map(|(k, &t)| (est(&key(*k)) - t) as f64)
+                .sum::<f64>()
+                / truth.len() as f64
+        };
+        let classic_err = mean_err(&|k| classic.estimate(k));
+        let vertical_err = mean_err(&|k| vertical.estimate(k));
+        // Correlated rows cost accuracy; require same order of magnitude.
+        assert!(
+            vertical_err <= classic_err * 3.0 + 1.0,
+            "vertical error {vertical_err} too far above classic {classic_err}"
+        );
+    }
+
+    #[test]
+    fn unseen_items_mostly_estimate_zero_when_sparse() {
+        let (mut classic, mut vertical) = sketches();
+        for i in 0..100u64 {
+            classic.increment(&key(i), 1);
+            vertical.increment(&key(i), 1);
+        }
+        let zeros_classic = (1000..2000u64)
+            .filter(|i| classic.estimate(&key(*i)) == 0)
+            .count();
+        let zeros_vertical = (1000..2000u64)
+            .filter(|i| vertical.estimate(&key(*i)) == 0)
+            .count();
+        assert!(zeros_classic > 950);
+        assert!(zeros_vertical > 950);
+    }
+
+    #[test]
+    fn masks_are_distinct_and_rows_disagree() {
+        let v = VerticalCountMin::new(1 << 10, 8, 3).unwrap();
+        let mut masks = v.masks.clone();
+        masks.sort_unstable();
+        masks.dedup();
+        assert_eq!(masks.len(), 8);
+        // Different rows must (almost always) hit different columns.
+        let columns: Vec<usize> = v.columns(b"probe").collect();
+        let mut unique = columns.clone();
+        unique.sort_unstable();
+        unique.dedup();
+        assert!(unique.len() >= 6, "rows too correlated: {columns:?}");
+    }
+
+    #[test]
+    fn depth_width_total_accessors() {
+        let (mut classic, mut vertical) = sketches();
+        assert_eq!(classic.depth(), 4);
+        assert_eq!(vertical.width(), 1 << 12);
+        classic.increment(b"a", 5);
+        vertical.increment(b"a", 5);
+        assert_eq!(classic.total(), 5);
+        assert_eq!(vertical.total(), 5);
+    }
+}

@@ -1,0 +1,51 @@
+//! Bit-packed bucket/slot tables — the storage substrate shared by every
+//! cuckoo-family filter in this workspace.
+//!
+//! The paper's filters are all "a table of `m` buckets, each of which
+//! contains `b` slots", where each slot stores an `f`-bit fingerprint
+//! (Section II-B). For k-VCF each slot additionally carries a *mark* field
+//! recording which bitmask produced the fingerprint's current residence
+//! (Section III-C). This crate provides:
+//!
+//! * [`PackedTable`] — a raw bit-packed array of fixed-width slots,
+//! * [`FingerprintTable`] — bucketed storage of non-zero `f`-bit
+//!   fingerprints (used by CF, DCF, VCF, IVCF, DVCF),
+//! * [`MarkedTable`] — bucketed storage of `(fingerprint, mark)` pairs
+//!   (used by k-VCF).
+//!
+//! All tables use value `0` as the empty-slot sentinel, so the filter layer
+//! maps real fingerprints into `1..2^f` (the standard trick from the
+//! reference cuckoo filter implementation).
+//!
+//! # Examples
+//!
+//! ```
+//! use vcf_table::FingerprintTable;
+//!
+//! let mut table = FingerprintTable::new(8, 4, 12)?;
+//! assert!(table.try_insert(3, 0x5a5).is_some());
+//! assert!(table.contains(3, 0x5a5));
+//! assert!(table.remove_one(3, 0x5a5));
+//! assert!(!table.contains(3, 0x5a5));
+//! # Ok::<(), vcf_traits::BuildError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod fingerprint;
+mod marked;
+mod packed;
+
+pub use fingerprint::FingerprintTable;
+pub use marked::{MarkedEntry, MarkedTable};
+pub use packed::PackedTable;
+
+/// Maximum supported slots per bucket.
+pub const MAX_BUCKET_SLOTS: usize = 8;
+
+/// Maximum supported fingerprint width in bits.
+pub const MAX_FINGERPRINT_BITS: u32 = 32;
+
+/// Minimum supported fingerprint width in bits.
+pub const MIN_FINGERPRINT_BITS: u32 = 2;

@@ -1,0 +1,414 @@
+//! Bucketed storage of `(fingerprint, mark)` pairs for k-VCF.
+//!
+//! Section III-C: "k-VCF does not satisfy Theorem 1 like VCF, so it must
+//! add the mark bits to label the bitmasks […] Consequently, each slot
+//! must have two fields, the fingerprint field and the counter field."
+//! The mark records *which* candidate position (equivalently, which
+//! bitmask of Equ. 6) the stored fingerprint currently occupies, so that a
+//! relocation can apply Equ. 7 without re-hashing the original item.
+
+use crate::packed::PackedTable;
+use crate::{MAX_BUCKET_SLOTS, MAX_FINGERPRINT_BITS, MIN_FINGERPRINT_BITS};
+use vcf_traits::BuildError;
+
+/// One occupied k-VCF slot: the fingerprint plus the candidate-position
+/// mark (`0..k`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct MarkedEntry {
+    /// Stored fingerprint, never zero for an occupied slot.
+    pub fingerprint: u32,
+    /// Index of the candidate bucket (equivalently, of the Equ. 6 bitmask)
+    /// this copy currently resides in: `0` = `B1`, `k-1` = `Bk`.
+    pub mark: u8,
+}
+
+/// A table whose slots carry a fingerprint field and a mark ("counter")
+/// field, bit-packed side by side.
+///
+/// # Examples
+///
+/// ```
+/// use vcf_table::{MarkedEntry, MarkedTable};
+///
+/// let mut t = MarkedTable::new(8, 4, 16, 7)?;
+/// let e = MarkedEntry { fingerprint: 0xbeef, mark: 5 };
+/// t.try_insert(2, e).expect("room");
+/// assert!(t.contains(2, e));
+/// # Ok::<(), vcf_traits::BuildError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct MarkedTable {
+    slots: PackedTable,
+    buckets: usize,
+    slots_per_bucket: usize,
+    fingerprint_bits: u32,
+    mark_bits: u32,
+    occupied: usize,
+}
+
+impl MarkedTable {
+    /// Creates an empty marked table sized for `candidates` candidate
+    /// buckets per item (`k`); the mark field gets `ceil(log2(k))` bits.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`BuildError`] when the geometry is invalid or
+    /// `candidates < 2`.
+    pub fn new(
+        buckets: usize,
+        slots_per_bucket: usize,
+        fingerprint_bits: u32,
+        candidates: usize,
+    ) -> Result<Self, BuildError> {
+        if buckets == 0 {
+            return Err(BuildError::InvalidBucketCount {
+                got: 0,
+                requirement: "positive",
+            });
+        }
+        if slots_per_bucket == 0 || slots_per_bucket > MAX_BUCKET_SLOTS {
+            return Err(BuildError::InvalidBucketSize {
+                got: slots_per_bucket,
+            });
+        }
+        if !(MIN_FINGERPRINT_BITS..=MAX_FINGERPRINT_BITS).contains(&fingerprint_bits) {
+            return Err(BuildError::InvalidFingerprintBits {
+                got: fingerprint_bits,
+                min: MIN_FINGERPRINT_BITS,
+                max: MAX_FINGERPRINT_BITS,
+            });
+        }
+        if candidates < 2 {
+            return Err(BuildError::InvalidConfig {
+                reason: format!("k-VCF needs at least 2 candidate buckets, got {candidates}"),
+            });
+        }
+        let mark_bits = (usize::BITS - (candidates - 1).leading_zeros()).max(1);
+        let slots = PackedTable::new(buckets * slots_per_bucket, fingerprint_bits + mark_bits)?;
+        Ok(Self {
+            slots,
+            buckets,
+            slots_per_bucket,
+            fingerprint_bits,
+            mark_bits,
+            occupied: 0,
+        })
+    }
+
+    /// Number of buckets.
+    #[inline]
+    pub fn buckets(&self) -> usize {
+        self.buckets
+    }
+
+    /// Slots per bucket.
+    #[inline]
+    pub fn slots_per_bucket(&self) -> usize {
+        self.slots_per_bucket
+    }
+
+    /// Fingerprint width in bits.
+    #[inline]
+    pub fn fingerprint_bits(&self) -> u32 {
+        self.fingerprint_bits
+    }
+
+    /// Mark field width in bits (the paper's "extra three bits […] when
+    /// k = 7" corresponds to `mark_bits = 3`).
+    #[inline]
+    pub fn mark_bits(&self) -> u32 {
+        self.mark_bits
+    }
+
+    /// Total slot capacity.
+    #[inline]
+    pub fn capacity(&self) -> usize {
+        self.buckets * self.slots_per_bucket
+    }
+
+    /// Number of occupied slots.
+    #[inline]
+    pub fn occupied(&self) -> usize {
+        self.occupied
+    }
+
+    /// Current load factor.
+    pub fn load_factor(&self) -> f64 {
+        self.occupied as f64 / self.capacity() as f64
+    }
+
+    /// Heap size of the packed storage in bytes.
+    pub fn storage_bytes(&self) -> usize {
+        self.slots.storage_bytes()
+    }
+
+    #[inline]
+    fn slot_index(&self, bucket: usize, slot: usize) -> usize {
+        debug_assert!(bucket < self.buckets);
+        debug_assert!(slot < self.slots_per_bucket);
+        bucket * self.slots_per_bucket + slot
+    }
+
+    #[inline]
+    fn encode(&self, entry: MarkedEntry) -> u64 {
+        debug_assert!(entry.fingerprint != 0);
+        (u64::from(entry.mark) << self.fingerprint_bits) | u64::from(entry.fingerprint)
+    }
+
+    #[inline]
+    fn decode(&self, raw: u64) -> Option<MarkedEntry> {
+        let fingerprint = (raw & ((1u64 << self.fingerprint_bits) - 1)) as u32;
+        (fingerprint != 0).then_some(MarkedEntry {
+            fingerprint,
+            mark: (raw >> self.fingerprint_bits) as u8,
+        })
+    }
+
+    /// Reads `(bucket, slot)`; `None` means empty.
+    #[inline]
+    pub fn get(&self, bucket: usize, slot: usize) -> Option<MarkedEntry> {
+        self.decode(self.slots.get(self.slot_index(bucket, slot)))
+    }
+
+    /// Inserts `entry` into the first empty slot of `bucket`; returns the
+    /// slot used, or `None` when the bucket is full.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the entry's fingerprint is zero or its mark does not fit
+    /// in the mark field.
+    pub fn try_insert(&mut self, bucket: usize, entry: MarkedEntry) -> Option<usize> {
+        assert!(
+            entry.fingerprint != 0,
+            "fingerprint 0 is the empty sentinel"
+        );
+        assert!(
+            u32::from(entry.mark) < (1 << self.mark_bits),
+            "mark {} does not fit in {} bits",
+            entry.mark,
+            self.mark_bits
+        );
+        for slot in 0..self.slots_per_bucket {
+            let index = self.slot_index(bucket, slot);
+            if self.slots.get(index) & ((1u64 << self.fingerprint_bits) - 1) == 0 {
+                self.slots.set(index, self.encode(entry));
+                self.occupied += 1;
+                return Some(slot);
+            }
+        }
+        None
+    }
+
+    /// Whether `bucket` stores an exact `(fingerprint, mark)` match.
+    pub fn contains(&self, bucket: usize, entry: MarkedEntry) -> bool {
+        (0..self.slots_per_bucket).any(|slot| self.get(bucket, slot) == Some(entry))
+    }
+
+    /// Removes one exact `(fingerprint, mark)` match from `bucket`.
+    pub fn remove_one(&mut self, bucket: usize, entry: MarkedEntry) -> bool {
+        for slot in 0..self.slots_per_bucket {
+            if self.get(bucket, slot) == Some(entry) {
+                self.slots.set(self.slot_index(bucket, slot), 0);
+                self.occupied -= 1;
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Whether `bucket` has no empty slot.
+    pub fn bucket_is_full(&self, bucket: usize) -> bool {
+        (0..self.slots_per_bucket).all(|slot| self.get(bucket, slot).is_some())
+    }
+
+    /// Swaps `entry` with the resident of `(bucket, slot)`, returning the
+    /// previous resident (`None` if the slot was empty). Used by the
+    /// k-VCF eviction loop, which must read the victim's mark to apply
+    /// Equ. 7.
+    pub fn swap(&mut self, bucket: usize, slot: usize, entry: MarkedEntry) -> Option<MarkedEntry> {
+        assert!(
+            entry.fingerprint != 0,
+            "fingerprint 0 is the empty sentinel"
+        );
+        let index = self.slot_index(bucket, slot);
+        let old = self.decode(self.slots.get(index));
+        self.slots.set(index, self.encode(entry));
+        if old.is_none() {
+            self.occupied += 1;
+        }
+        old
+    }
+
+    /// Removes every stored entry.
+    pub fn clear(&mut self) {
+        self.slots.clear();
+        self.occupied = 0;
+    }
+
+    /// Iterates `(bucket, slot, entry)` over occupied slots.
+    pub fn iter(&self) -> impl Iterator<Item = (usize, usize, MarkedEntry)> + '_ {
+        (0..self.buckets).flat_map(move |bucket| {
+            (0..self.slots_per_bucket)
+                .filter_map(move |slot| self.get(bucket, slot).map(|e| (bucket, slot, e)))
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn table() -> MarkedTable {
+        MarkedTable::new(8, 4, 16, 7).unwrap()
+    }
+
+    #[test]
+    fn mark_bits_match_paper_example() {
+        // k = 7 → three extra bits (paper Section III-C).
+        assert_eq!(table().mark_bits(), 3);
+        assert_eq!(MarkedTable::new(8, 4, 16, 4).unwrap().mark_bits(), 2);
+        assert_eq!(MarkedTable::new(8, 4, 16, 2).unwrap().mark_bits(), 1);
+        assert_eq!(MarkedTable::new(8, 4, 16, 10).unwrap().mark_bits(), 4);
+    }
+
+    #[test]
+    fn rejects_bad_geometry() {
+        assert!(MarkedTable::new(0, 4, 16, 4).is_err());
+        assert!(MarkedTable::new(8, 0, 16, 4).is_err());
+        assert!(MarkedTable::new(8, 4, 1, 4).is_err());
+        assert!(MarkedTable::new(8, 4, 16, 1).is_err());
+    }
+
+    #[test]
+    fn roundtrip_entry() {
+        let mut t = table();
+        let e = MarkedEntry {
+            fingerprint: 0xffff,
+            mark: 6,
+        };
+        let slot = t.try_insert(3, e).unwrap();
+        assert_eq!(t.get(3, slot), Some(e));
+        assert_eq!(t.occupied(), 1);
+    }
+
+    #[test]
+    fn exact_match_requires_mark() {
+        let mut t = table();
+        let e = MarkedEntry {
+            fingerprint: 0xab,
+            mark: 2,
+        };
+        t.try_insert(0, e).unwrap();
+        assert!(t.contains(0, e));
+        assert!(!t.contains(
+            0,
+            MarkedEntry {
+                fingerprint: 0xab,
+                mark: 3
+            }
+        ));
+        assert!(!t.remove_one(
+            0,
+            MarkedEntry {
+                fingerprint: 0xab,
+                mark: 3
+            }
+        ));
+        assert!(t.remove_one(0, e));
+        assert_eq!(t.occupied(), 0);
+    }
+
+    #[test]
+    fn bucket_fills_and_rejects() {
+        let mut t = table();
+        for i in 1..=4 {
+            t.try_insert(
+                1,
+                MarkedEntry {
+                    fingerprint: i,
+                    mark: 0,
+                },
+            )
+            .unwrap();
+        }
+        assert!(t.bucket_is_full(1));
+        assert!(t
+            .try_insert(
+                1,
+                MarkedEntry {
+                    fingerprint: 9,
+                    mark: 0
+                }
+            )
+            .is_none());
+    }
+
+    #[test]
+    fn swap_preserves_occupancy_and_returns_victim() {
+        let mut t = table();
+        let a = MarkedEntry {
+            fingerprint: 1,
+            mark: 1,
+        };
+        let b = MarkedEntry {
+            fingerprint: 2,
+            mark: 4,
+        };
+        t.try_insert(5, a).unwrap();
+        assert_eq!(t.swap(5, 0, b), Some(a));
+        assert_eq!(t.occupied(), 1);
+        assert_eq!(t.swap(5, 1, a), None);
+        assert_eq!(t.occupied(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not fit")]
+    fn oversized_mark_panics() {
+        let mut t = table();
+        t.try_insert(
+            0,
+            MarkedEntry {
+                fingerprint: 1,
+                mark: 8,
+            },
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "empty sentinel")]
+    fn zero_fingerprint_panics() {
+        let mut t = table();
+        t.try_insert(
+            0,
+            MarkedEntry {
+                fingerprint: 0,
+                mark: 1,
+            },
+        );
+    }
+
+    #[test]
+    fn iter_and_clear() {
+        let mut t = table();
+        let e = MarkedEntry {
+            fingerprint: 77,
+            mark: 5,
+        };
+        t.try_insert(7, e).unwrap();
+        assert_eq!(t.iter().collect::<Vec<_>>(), vec![(7, 0, e)]);
+        t.clear();
+        assert_eq!(t.occupied(), 0);
+        assert_eq!(t.iter().count(), 0);
+    }
+
+    #[test]
+    fn mark_zero_is_valid_for_occupied_slot() {
+        let mut t = table();
+        let e = MarkedEntry {
+            fingerprint: 5,
+            mark: 0,
+        };
+        t.try_insert(0, e).unwrap();
+        assert!(t.contains(0, e));
+    }
+}

@@ -1,0 +1,192 @@
+//! Bulk-operation conveniences over any [`Filter`].
+
+use crate::{Filter, InsertError};
+
+/// Extension methods available on every filter (blanket-implemented).
+///
+/// # Examples
+///
+/// ```
+/// use vcf_traits::{Filter, FilterExt, InsertError, Stats};
+///
+/// # struct Toy(std::collections::HashSet<Vec<u8>>);
+/// # impl Filter for Toy {
+/// #     fn insert(&mut self, item: &[u8]) -> Result<(), InsertError> {
+/// #         self.0.insert(item.to_vec());
+/// #         Ok(())
+/// #     }
+/// #     fn contains(&self, item: &[u8]) -> bool { self.0.contains(item) }
+/// #     fn delete(&mut self, item: &[u8]) -> bool { self.0.remove(item) }
+/// #     fn len(&self) -> usize { self.0.len() }
+/// #     fn capacity(&self) -> usize { 1 << 20 }
+/// #     fn stats(&self) -> Stats { Stats::default() }
+/// #     fn reset_stats(&mut self) {}
+/// #     fn name(&self) -> String { "toy".into() }
+/// # }
+/// let mut filter = Toy(Default::default());
+/// let keys: Vec<Vec<u8>> = (0..10u8).map(|i| vec![i]).collect();
+/// assert_eq!(filter.insert_all(keys.iter().map(Vec::as_slice))?, 10);
+/// assert_eq!(filter.count_present(keys.iter().map(Vec::as_slice)), 10);
+/// # Ok::<(), InsertError>(())
+/// ```
+pub trait FilterExt: Filter {
+    /// Inserts every item, stopping at the first failure.
+    ///
+    /// Returns the number of items inserted by *this call* on success.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first [`InsertError`]; items before it remain
+    /// stored (insertion is per-item atomic, not batch-atomic).
+    fn insert_all<'a, I>(&mut self, items: I) -> Result<usize, InsertError>
+    where
+        I: IntoIterator<Item = &'a [u8]>,
+    {
+        let mut stored = 0usize;
+        for item in items {
+            self.insert(item)?;
+            stored += 1;
+        }
+        Ok(stored)
+    }
+
+    /// Inserts every item, skipping failures; returns how many stuck.
+    /// Use when approaching capacity is expected (the paper's load-factor
+    /// methodology does exactly this).
+    fn insert_best_effort<'a, I>(&mut self, items: I) -> usize
+    where
+        I: IntoIterator<Item = &'a [u8]>,
+    {
+        items
+            .into_iter()
+            .filter(|item| self.insert(item).is_ok())
+            .count()
+    }
+
+    /// Number of items the filter reports present.
+    fn count_present<'a, I>(&self, items: I) -> usize
+    where
+        I: IntoIterator<Item = &'a [u8]>,
+    {
+        items.into_iter().filter(|item| self.contains(item)).count()
+    }
+
+    /// Deletes every item, returning how many deletions succeeded.
+    fn delete_all<'a, I>(&mut self, items: I) -> usize
+    where
+        I: IntoIterator<Item = &'a [u8]>,
+    {
+        items.into_iter().filter(|item| self.delete(item)).count()
+    }
+}
+
+impl<F: Filter + ?Sized> FilterExt for F {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Stats;
+    use std::collections::HashMap;
+
+    /// Minimal exact filter for testing the blanket impl.
+    #[derive(Default)]
+    struct Exact {
+        items: HashMap<Vec<u8>, usize>,
+        limit: usize,
+        total: usize,
+    }
+
+    impl Filter for Exact {
+        fn insert(&mut self, item: &[u8]) -> Result<(), InsertError> {
+            if self.total >= self.limit {
+                return Err(InsertError::Full { kicks: 0 });
+            }
+            *self.items.entry(item.to_vec()).or_insert(0) += 1;
+            self.total += 1;
+            Ok(())
+        }
+
+        fn contains(&self, item: &[u8]) -> bool {
+            self.items.get(item).copied().unwrap_or(0) > 0
+        }
+
+        fn delete(&mut self, item: &[u8]) -> bool {
+            match self.items.get_mut(item) {
+                Some(count) if *count > 0 => {
+                    *count -= 1;
+                    self.total -= 1;
+                    true
+                }
+                _ => false,
+            }
+        }
+
+        fn len(&self) -> usize {
+            self.total
+        }
+
+        fn capacity(&self) -> usize {
+            self.limit
+        }
+
+        fn stats(&self) -> Stats {
+            Stats::default()
+        }
+
+        fn reset_stats(&mut self) {}
+
+        fn name(&self) -> String {
+            "exact".into()
+        }
+    }
+
+    fn keys(n: usize) -> Vec<Vec<u8>> {
+        (0..n).map(|i| format!("k{i}").into_bytes()).collect()
+    }
+
+    #[test]
+    fn insert_all_stops_at_first_failure() {
+        let mut f = Exact {
+            limit: 5,
+            ..Default::default()
+        };
+        let items = keys(10);
+        let result = f.insert_all(items.iter().map(Vec::as_slice));
+        assert!(matches!(result, Err(InsertError::Full { .. })));
+        assert_eq!(f.len(), 5, "items before the failure must remain");
+    }
+
+    #[test]
+    fn insert_best_effort_counts_successes() {
+        let mut f = Exact {
+            limit: 7,
+            ..Default::default()
+        };
+        let items = keys(10);
+        assert_eq!(f.insert_best_effort(items.iter().map(Vec::as_slice)), 7);
+    }
+
+    #[test]
+    fn count_present_and_delete_all() {
+        let mut f = Exact {
+            limit: 100,
+            ..Default::default()
+        };
+        let items = keys(20);
+        assert_eq!(f.insert_all(items.iter().map(Vec::as_slice)).unwrap(), 20);
+        assert_eq!(f.count_present(items.iter().map(Vec::as_slice)), 20);
+        assert_eq!(f.delete_all(items[..10].iter().map(Vec::as_slice)), 10);
+        assert_eq!(f.count_present(items.iter().map(Vec::as_slice)), 10);
+    }
+
+    #[test]
+    fn works_through_dyn_filter() {
+        let mut f: Box<dyn Filter> = Box::new(Exact {
+            limit: 3,
+            ..Default::default()
+        });
+        let items = keys(3);
+        assert_eq!(f.insert_all(items.iter().map(Vec::as_slice)).unwrap(), 3);
+        assert_eq!(f.count_present(items.iter().map(Vec::as_slice)), 3);
+    }
+}

@@ -1,0 +1,241 @@
+//! Insert/delete churn traces — the paper's motivating workload.
+//!
+//! "Insertion-intensive online applications where items insert and delete
+//! frequently" (Section I). A churn trace first fills the filter to a
+//! target occupancy, then alternates deletions and insertions (keeping
+//! occupancy near the target) interleaved with lookups of live, dead and
+//! alien keys. Sustained operation at high occupancy is exactly where
+//! CF's eviction cascades hurt and VCF's extra candidates pay off.
+
+use vcf_hash::SplitMix64;
+
+/// One trace operation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Op {
+    /// Insert the key; the filter should acknowledge or report Full.
+    Insert(Vec<u8>),
+    /// Delete the key (always one that the trace previously inserted).
+    Delete(Vec<u8>),
+    /// Look up a key; `expected_present` is the ground truth.
+    Lookup {
+        /// The key to query.
+        key: Vec<u8>,
+        /// Whether the key is genuinely live at this point in the trace.
+        expected_present: bool,
+    },
+}
+
+/// Parameters for [`ChurnTrace::generate`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ChurnConfig {
+    /// Number of live items after the warm-up fill.
+    pub working_set: usize,
+    /// Number of churn rounds after warm-up; each round is one delete +
+    /// one insert (+ lookups per `lookup_ratio`).
+    pub rounds: usize,
+    /// Lookups issued per churn round.
+    pub lookups_per_round: usize,
+    /// Fraction of lookups aimed at live keys (the rest query alien keys).
+    pub positive_fraction: f64,
+    /// PRNG seed.
+    pub seed: u64,
+}
+
+impl Default for ChurnConfig {
+    fn default() -> Self {
+        Self {
+            working_set: 10_000,
+            rounds: 10_000,
+            lookups_per_round: 2,
+            positive_fraction: 0.5,
+            seed: 0xc4u64,
+        }
+    }
+}
+
+/// A generated churn trace: a warm-up fill followed by delete/insert
+/// rounds with interleaved lookups.
+///
+/// # Examples
+///
+/// ```
+/// use vcf_workloads::{ChurnConfig, ChurnTrace, Op};
+///
+/// let trace = ChurnTrace::generate(ChurnConfig {
+///     working_set: 100,
+///     rounds: 50,
+///     ..ChurnConfig::default()
+/// });
+/// // Warm-up inserts come first.
+/// assert!(matches!(trace.ops()[0], Op::Insert(_)));
+/// ```
+#[derive(Debug, Clone)]
+pub struct ChurnTrace {
+    ops: Vec<Op>,
+    config: ChurnConfig,
+}
+
+impl ChurnTrace {
+    /// Generates a trace from `config`. Deterministic for a fixed seed.
+    pub fn generate(config: ChurnConfig) -> Self {
+        let mut rng = SplitMix64::new(config.seed);
+        let mut next_id: u64 = 0;
+        let make_key = |id: u64| format!("churn-{id}").into_bytes();
+        let mut live: Vec<u64> = Vec::with_capacity(config.working_set);
+        let mut ops = Vec::new();
+
+        for _ in 0..config.working_set {
+            let id = next_id;
+            next_id += 1;
+            live.push(id);
+            ops.push(Op::Insert(make_key(id)));
+        }
+
+        let mut alien_counter: u64 = 1 << 62;
+        for _ in 0..config.rounds {
+            if !live.is_empty() {
+                let pos = rng.next_below(live.len() as u64) as usize;
+                let id = live.swap_remove(pos);
+                ops.push(Op::Delete(make_key(id)));
+            }
+            let id = next_id;
+            next_id += 1;
+            live.push(id);
+            ops.push(Op::Insert(make_key(id)));
+
+            for _ in 0..config.lookups_per_round {
+                let roll = (rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+                if roll < config.positive_fraction && !live.is_empty() {
+                    let pos = rng.next_below(live.len() as u64) as usize;
+                    ops.push(Op::Lookup {
+                        key: make_key(live[pos]),
+                        expected_present: true,
+                    });
+                } else {
+                    alien_counter += 1;
+                    ops.push(Op::Lookup {
+                        key: format!("alien-{alien_counter}").into_bytes(),
+                        expected_present: false,
+                    });
+                }
+            }
+        }
+
+        Self { ops, config }
+    }
+
+    /// The operations in execution order.
+    pub fn ops(&self) -> &[Op] {
+        &self.ops
+    }
+
+    /// The generating configuration.
+    pub fn config(&self) -> &ChurnConfig {
+        &self.config
+    }
+
+    /// Iterates over the operations.
+    pub fn iter(&self) -> std::slice::Iter<'_, Op> {
+        self.ops.iter()
+    }
+}
+
+impl<'a> IntoIterator for &'a ChurnTrace {
+    type Item = &'a Op;
+    type IntoIter = std::slice::Iter<'a, Op>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.ops.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    fn small() -> ChurnConfig {
+        ChurnConfig {
+            working_set: 200,
+            rounds: 500,
+            lookups_per_round: 2,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn warmup_then_churn_structure() {
+        let t = ChurnTrace::generate(small());
+        let warmup = &t.ops()[..200];
+        assert!(warmup.iter().all(|op| matches!(op, Op::Insert(_))));
+        let total_inserts = t.iter().filter(|op| matches!(op, Op::Insert(_))).count();
+        let total_deletes = t.iter().filter(|op| matches!(op, Op::Delete(_))).count();
+        assert_eq!(total_inserts, 200 + 500);
+        assert_eq!(total_deletes, 500);
+    }
+
+    #[test]
+    fn deletes_only_target_live_keys() {
+        let t = ChurnTrace::generate(small());
+        let mut live: HashSet<Vec<u8>> = HashSet::new();
+        for op in t.iter() {
+            match op {
+                Op::Insert(k) => {
+                    assert!(live.insert(k.clone()), "double insert of {k:?}");
+                }
+                Op::Delete(k) => {
+                    assert!(live.remove(k), "delete of dead key {k:?}");
+                }
+                Op::Lookup {
+                    key,
+                    expected_present,
+                } => {
+                    assert_eq!(
+                        live.contains(key),
+                        *expected_present,
+                        "ground truth mismatch for {key:?}"
+                    );
+                }
+            }
+        }
+        assert_eq!(
+            live.len(),
+            200,
+            "occupancy must return to the working set size"
+        );
+    }
+
+    #[test]
+    fn lookup_mix_respects_positive_fraction() {
+        let config = ChurnConfig {
+            working_set: 100,
+            rounds: 5000,
+            lookups_per_round: 1,
+            positive_fraction: 0.5,
+            seed: 5,
+        };
+        let t = ChurnTrace::generate(config);
+        let (mut pos, mut neg) = (0u32, 0u32);
+        for op in t.iter() {
+            if let Op::Lookup {
+                expected_present, ..
+            } = op
+            {
+                if *expected_present {
+                    pos += 1;
+                } else {
+                    neg += 1;
+                }
+            }
+        }
+        let frac = f64::from(pos) / f64::from(pos + neg);
+        assert!((frac - 0.5).abs() < 0.05, "positive fraction {frac}");
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = ChurnTrace::generate(small());
+        let b = ChurnTrace::generate(small());
+        assert_eq!(a.ops(), b.ops());
+    }
+}

@@ -1,0 +1,194 @@
+//! Synthetic HIGGS-like dataset.
+//!
+//! **Substitution note (see DESIGN.md).** The paper uses the UCI HIGGS
+//! dataset (11 M particle-collision events × 28 kinematic features),
+//! merging features 3 and 4 and deduplicating to obtain unique keys. The
+//! filters consume only the serialized bytes of each record; every
+//! property except *uniqueness and byte-string shape* is erased by the
+//! first hash. This module therefore generates records with the same
+//! schema — 27 floating-point fields after the merge, serialized to the
+//! textual CSV-like form a HIGGS reader would produce — from a seeded
+//! PRNG, and runs the same dedup pass the paper describes.
+
+use vcf_hash::SplitMix64;
+
+/// Number of kinematic features in a raw HIGGS event.
+pub const RAW_FEATURES: usize = 28;
+
+/// Features after merging features 3 and 4 (0-indexed 2 and 3).
+pub const MERGED_FEATURES: usize = RAW_FEATURES - 1;
+
+/// One synthetic collision event with the merged-feature schema.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HiggsRecord {
+    /// The 27 post-merge feature values.
+    pub features: [f32; MERGED_FEATURES],
+}
+
+impl HiggsRecord {
+    /// Generates one record from a PRNG, mimicking the value ranges of the
+    /// real dataset (standardized detector quantities, mostly in
+    /// `[-3, 3]`).
+    fn generate(rng: &mut SplitMix64) -> Self {
+        let mut raw = [0f32; RAW_FEATURES];
+        for value in raw.iter_mut() {
+            // Map a uniform u64 to roughly standard-normal-ish range via a
+            // cheap triangular sum: adequate, and deterministic.
+            let a = (rng.next_u64() >> 40) as f32 / (1 << 24) as f32;
+            let b = (rng.next_u64() >> 40) as f32 / (1 << 24) as f32;
+            let c = (rng.next_u64() >> 40) as f32 / (1 << 24) as f32;
+            *value = (a + b + c) * 2.0 - 3.0;
+        }
+        // "We merge the third and fourth features" — sum them into one.
+        let mut features = [0f32; MERGED_FEATURES];
+        features[..2].copy_from_slice(&raw[..2]);
+        features[2] = raw[2] + raw[3];
+        features[3..].copy_from_slice(&raw[4..]);
+        Self { features }
+    }
+
+    /// Serializes the record to the byte key the filters consume, in the
+    /// comma-separated decimal form a CSV reader of the real dataset would
+    /// hand over.
+    pub fn to_key(&self) -> Vec<u8> {
+        let mut out = String::with_capacity(MERGED_FEATURES * 10);
+        for (i, v) in self.features.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            // Fixed precision mirrors the dataset's textual encoding.
+            out.push_str(&format!("{v:.6}"));
+        }
+        out.into_bytes()
+    }
+}
+
+/// A deduplicated synthetic HIGGS dataset: `n` unique byte keys.
+///
+/// # Examples
+///
+/// ```
+/// use vcf_workloads::higgs::HiggsDataset;
+///
+/// let d = HiggsDataset::generate(100, 7);
+/// let keys = d.keys();
+/// assert_eq!(keys.len(), 100);
+/// // Keys look like CSV rows of 27 floats.
+/// assert_eq!(keys[0].iter().filter(|&&b| b == b',').count(), 26);
+/// ```
+#[derive(Debug, Clone)]
+pub struct HiggsDataset {
+    keys: Vec<Vec<u8>>,
+}
+
+impl HiggsDataset {
+    /// Generates `n` unique keys from `seed`, running the paper's dedup
+    /// pass (duplicates are regenerated until `n` unique keys exist).
+    pub fn generate(n: usize, seed: u64) -> Self {
+        let mut rng = SplitMix64::new(seed ^ 0x0048_4947_4753); // "HIGGS"
+        let mut seen = std::collections::HashSet::with_capacity(n * 2);
+        let mut keys = Vec::with_capacity(n);
+        while keys.len() < n {
+            let record = HiggsRecord::generate(&mut rng);
+            let key = record.to_key();
+            // Dedup pass: the paper deduplicates the merged dataset.
+            if seen.insert(key.clone()) {
+                keys.push(key);
+            }
+        }
+        Self { keys }
+    }
+
+    /// The unique keys, in generation order.
+    pub fn keys(&self) -> &[Vec<u8>] {
+        &self.keys
+    }
+
+    /// Splits the dataset into a `stored` prefix and an `alien` suffix —
+    /// the paper's FPR methodology builds the alien query set `D` from
+    /// dataset items that were *not* inserted.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `stored > len`.
+    pub fn split(&self, stored: usize) -> (&[Vec<u8>], &[Vec<u8>]) {
+        assert!(stored <= self.keys.len(), "split point beyond dataset");
+        self.keys.split_at(stored)
+    }
+
+    /// Number of keys.
+    pub fn len(&self) -> usize {
+        self.keys.len()
+    }
+
+    /// Whether the dataset is empty.
+    pub fn is_empty(&self) -> bool {
+        self.keys.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generates_requested_count() {
+        assert_eq!(HiggsDataset::generate(0, 1).len(), 0);
+        assert_eq!(HiggsDataset::generate(1, 1).len(), 1);
+        assert_eq!(HiggsDataset::generate(5000, 1).len(), 5000);
+    }
+
+    #[test]
+    fn keys_are_unique() {
+        let d = HiggsDataset::generate(20_000, 3);
+        let mut set = std::collections::HashSet::new();
+        for k in d.keys() {
+            assert!(set.insert(k.clone()), "duplicate key escaped dedup");
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = HiggsDataset::generate(500, 9);
+        let b = HiggsDataset::generate(500, 9);
+        assert_eq!(a.keys(), b.keys());
+        let c = HiggsDataset::generate(500, 10);
+        assert_ne!(a.keys(), c.keys());
+    }
+
+    #[test]
+    fn record_has_merged_schema() {
+        let mut rng = SplitMix64::new(1);
+        let r = HiggsRecord::generate(&mut rng);
+        assert_eq!(r.features.len(), 27);
+        let key = r.to_key();
+        assert_eq!(key.iter().filter(|&&b| b == b',').count(), 26);
+    }
+
+    #[test]
+    fn values_in_plausible_detector_range() {
+        let mut rng = SplitMix64::new(2);
+        for _ in 0..100 {
+            let r = HiggsRecord::generate(&mut rng);
+            for (i, &v) in r.features.iter().enumerate() {
+                // merged feature can reach ±6, others ±3
+                let bound = if i == 2 { 6.001 } else { 3.001 };
+                assert!(v.abs() <= bound, "feature {i} = {v} out of range");
+            }
+        }
+    }
+
+    #[test]
+    fn split_partitions_dataset() {
+        let d = HiggsDataset::generate(100, 4);
+        let (stored, alien) = d.split(60);
+        assert_eq!(stored.len(), 60);
+        assert_eq!(alien.len(), 40);
+    }
+
+    #[test]
+    #[should_panic(expected = "beyond dataset")]
+    fn split_out_of_range_panics() {
+        HiggsDataset::generate(10, 1).split(11);
+    }
+}

@@ -1,0 +1,128 @@
+//! Zipf-distributed rank sampler.
+//!
+//! Online workloads (caches, flow tables) are rarely uniform; lookup
+//! popularity typically follows a Zipf law. The harness's churn extension
+//! uses this sampler for skewed lookups. Implementation: inverse-CDF over
+//! the precomputed harmonic prefix sums — exact, O(log n) per sample.
+
+use vcf_hash::SplitMix64;
+
+/// A Zipf(`s`) sampler over ranks `0..n`.
+///
+/// # Examples
+///
+/// ```
+/// use vcf_workloads::Zipf;
+///
+/// let mut z = Zipf::new(1000, 1.0, 42)?;
+/// let r = z.sample();
+/// assert!(r < 1000);
+/// # Ok::<(), String>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct Zipf {
+    cdf: Vec<f64>,
+    rng: SplitMix64,
+}
+
+impl Zipf {
+    /// Builds a sampler over `n` ranks with exponent `s` (0 = uniform,
+    /// 1 = classic Zipf).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when `n == 0`, or `s` is negative or not finite.
+    pub fn new(n: usize, s: f64, seed: u64) -> Result<Self, String> {
+        if n == 0 {
+            return Err("Zipf needs at least one rank".to_owned());
+        }
+        if !s.is_finite() || s < 0.0 {
+            return Err(format!(
+                "Zipf exponent must be finite and non-negative, got {s}"
+            ));
+        }
+        let mut cdf = Vec::with_capacity(n);
+        let mut total = 0.0;
+        for rank in 1..=n {
+            total += 1.0 / (rank as f64).powf(s);
+            cdf.push(total);
+        }
+        for value in cdf.iter_mut() {
+            *value /= total;
+        }
+        Ok(Self {
+            cdf,
+            rng: SplitMix64::new(seed),
+        })
+    }
+
+    /// Number of ranks.
+    pub fn ranks(&self) -> usize {
+        self.cdf.len()
+    }
+
+    /// Draws one rank (0 = most popular).
+    pub fn sample(&mut self) -> usize {
+        let u = (self.rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+        // partition_point returns the count of entries < u, i.e. the first
+        // rank whose CDF reaches u.
+        self.cdf.partition_point(|&c| c < u).min(self.cdf.len() - 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rejects_degenerate_parameters() {
+        assert!(Zipf::new(0, 1.0, 1).is_err());
+        assert!(Zipf::new(10, -1.0, 1).is_err());
+        assert!(Zipf::new(10, f64::NAN, 1).is_err());
+        assert!(Zipf::new(10, f64::INFINITY, 1).is_err());
+    }
+
+    #[test]
+    fn samples_in_range() {
+        let mut z = Zipf::new(50, 1.0, 7).unwrap();
+        for _ in 0..10_000 {
+            assert!(z.sample() < 50);
+        }
+    }
+
+    #[test]
+    fn rank_zero_dominates_at_s1() {
+        let mut z = Zipf::new(1000, 1.0, 9).unwrap();
+        let mut counts = vec![0u32; 1000];
+        for _ in 0..100_000 {
+            counts[z.sample()] += 1;
+        }
+        // Under Zipf(1) over 1000 ranks, rank 0 gets ~1/H(1000) ≈ 13.4%.
+        let p0 = f64::from(counts[0]) / 100_000.0;
+        assert!((p0 - 0.134).abs() < 0.02, "p0 = {p0}");
+        // And rank 0 beats rank 100 by roughly 100×.
+        assert!(counts[0] > counts[100] * 20);
+    }
+
+    #[test]
+    fn s_zero_is_uniform() {
+        let mut z = Zipf::new(10, 0.0, 11).unwrap();
+        let mut counts = [0u32; 10];
+        for _ in 0..100_000 {
+            counts[z.sample()] += 1;
+        }
+        for (rank, &c) in counts.iter().enumerate() {
+            let p = f64::from(c) / 100_000.0;
+            assert!((p - 0.1).abs() < 0.01, "rank {rank}: p = {p}");
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = Zipf::new(100, 1.2, 3).unwrap();
+        let mut b = Zipf::new(100, 1.2, 3).unwrap();
+        for _ in 0..100 {
+            assert_eq!(a.sample(), b.sample());
+        }
+    }
+}

@@ -1,0 +1,98 @@
+//! The paper's motivating scenario: an online cache-admission filter
+//! under sustained insert/delete churn at high occupancy.
+//!
+//! A cache tracks which objects are resident; every admission inserts a
+//! key, every eviction deletes one, and hot-path lookups ask "is this
+//! object cached?". The filter must stay ~90 % full forever — exactly the
+//! regime where standard CF's eviction cascades hurt. This example
+//! replays the same churn trace through CF, VCF and DVCF and reports
+//! throughput and relocation counts.
+//!
+//! ```text
+//! cargo run --release --example online_cache
+//! ```
+
+use std::time::Instant;
+use vertical_cuckoo_filters::baselines::CuckooFilter;
+use vertical_cuckoo_filters::traits::Filter;
+use vertical_cuckoo_filters::vcf::{CuckooConfig, Dvcf, VerticalCuckooFilter};
+use vertical_cuckoo_filters::workloads::{ChurnConfig, ChurnTrace, Op};
+
+fn replay(filter: &mut dyn Filter, trace: &ChurnTrace) -> (f64, u64, u64) {
+    let start = Instant::now();
+    let mut false_negatives = 0u64;
+    for op in trace.iter() {
+        match op {
+            Op::Insert(key) => {
+                let _ = filter.insert(key);
+            }
+            Op::Delete(key) => {
+                filter.delete(key);
+            }
+            Op::Lookup {
+                key,
+                expected_present,
+            } => {
+                if *expected_present && !filter.contains(key) {
+                    false_negatives += 1;
+                }
+            }
+        }
+    }
+    let seconds = start.elapsed().as_secs_f64();
+    (
+        trace.ops().len() as f64 / seconds,
+        filter.stats().kicks,
+        false_negatives,
+    )
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let slots = 1usize << 16;
+    let trace = ChurnTrace::generate(ChurnConfig {
+        working_set: slots * 90 / 100, // steady 90 % occupancy
+        rounds: 100_000,
+        lookups_per_round: 2,
+        positive_fraction: 0.5,
+        seed: 7,
+    });
+    println!(
+        "churn trace: {} ops at ~90% occupancy of {} slots\n",
+        trace.ops().len(),
+        slots
+    );
+
+    let config = CuckooConfig::with_total_slots(slots).with_seed(99);
+    let mut filters: Vec<Box<dyn Filter>> = vec![
+        Box::new(CuckooFilter::new(config)?),
+        Box::new(VerticalCuckooFilter::new(config)?),
+        Box::new(Dvcf::with_r(config, 0.5)?),
+    ];
+
+    println!(
+        "{:>12}  {:>12}  {:>14}  {:>8}",
+        "filter", "ops/sec", "relocations", "lost"
+    );
+    for filter in filters.iter_mut() {
+        let (ops_per_sec, kicks, false_negatives) = replay(filter.as_mut(), &trace);
+        println!(
+            "{:>12}  {:>12.0}  {:>14}  {:>8}",
+            filter.name(),
+            ops_per_sec,
+            kicks,
+            false_negatives
+        );
+        // An item the cache believes resident must never be reported
+        // absent (a false negative would serve stale bytes from origin).
+        assert_eq!(
+            false_negatives,
+            0,
+            "{} produced false negatives",
+            filter.name()
+        );
+    }
+
+    println!("\nVCF sustains the same churn with far fewer fingerprint relocations —");
+    println!("the paper's core claim for insertion-intensive online applications.");
+    Ok(())
+}

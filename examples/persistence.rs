@@ -1,0 +1,63 @@
+//! Snapshot persistence: survive a process restart without replaying
+//! history.
+//!
+//! An online service tracking live sessions can serialize its VCF on
+//! shutdown (or periodically) and restore it bit-exactly on startup —
+//! including the false-positive behaviour, since the table bytes are
+//! identical.
+//!
+//! ```text
+//! cargo run --release --example persistence
+//! ```
+
+use std::fs;
+use vertical_cuckoo_filters::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let path = std::env::temp_dir().join("vcf_sessions.snapshot");
+
+    // --- process A: build up state and persist it -----------------------
+    let mut filter = VerticalCuckooFilter::new(CuckooConfig::new(1 << 12).with_seed(2021))?;
+    for i in 0..10_000u64 {
+        filter.insert(format!("session-{i}").as_bytes())?;
+    }
+    let snapshot = filter.to_snapshot();
+    fs::write(&path, &snapshot)?;
+    println!(
+        "process A: persisted {} sessions in {} bytes ({} bytes/item)",
+        filter.len(),
+        snapshot.len(),
+        snapshot.len() / filter.len()
+    );
+
+    // --- process B: restore and keep serving ----------------------------
+    let bytes = fs::read(&path)?;
+    let mut restored = VerticalCuckooFilter::from_snapshot(&bytes)?;
+    println!(
+        "process B: restored {} sessions, load factor {:.1}%",
+        restored.len(),
+        restored.load_factor() * 100.0
+    );
+
+    // Every session survives the restart...
+    for i in 0..10_000u64 {
+        assert!(restored.contains(format!("session-{i}").as_bytes()));
+    }
+    // ...and the filter keeps working: expire some, admit new ones.
+    for i in 0..1_000u64 {
+        assert!(restored.delete(format!("session-{i}").as_bytes()));
+    }
+    for i in 10_000..11_000u64 {
+        restored.insert(format!("session-{i}").as_bytes())?;
+    }
+    println!("process B: after churn, {} sessions live", restored.len());
+
+    // Corruption is detected, not silently accepted.
+    let mut corrupted = bytes.clone();
+    corrupted[0] ^= 0xff;
+    assert!(VerticalCuckooFilter::from_snapshot(&corrupted).is_err());
+    println!("corrupted snapshot correctly rejected");
+
+    fs::remove_file(&path).ok();
+    Ok(())
+}

@@ -1,0 +1,52 @@
+//! Quickstart: build a Vertical Cuckoo Filter, insert, query, delete.
+//!
+//! ```text
+//! cargo run --example quickstart
+//! ```
+
+use vertical_cuckoo_filters::traits::Filter;
+use vertical_cuckoo_filters::vcf::{CuckooConfig, VerticalCuckooFilter};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A filter with 2^12 buckets × 4 slots = 16384 entries, 14-bit
+    // fingerprints and the paper's MAX = 500 relocation threshold.
+    let config = CuckooConfig::new(1 << 12)
+        .with_fingerprint_bits(14)
+        .with_seed(2021);
+    let mut filter = VerticalCuckooFilter::new(config)?;
+
+    // Insert a handful of items.
+    for name in ["alice", "bob", "carol", "dave"] {
+        filter.insert(name.as_bytes())?;
+    }
+    println!(
+        "stored {} items in {} slots",
+        filter.len(),
+        filter.capacity()
+    );
+
+    // Membership: no false negatives, tunably-rare false positives.
+    assert!(filter.contains(b"alice"));
+    assert!(filter.contains(b"dave"));
+    println!("alice present: {}", filter.contains(b"alice"));
+    println!("mallory present: {}", filter.contains(b"mallory"));
+
+    // True deletion — the feature Bloom filters lack.
+    assert!(filter.delete(b"bob"));
+    assert!(!filter.contains(b"bob"));
+    println!("after delete, bob present: {}", filter.contains(b"bob"));
+
+    // Fill to capacity to see vertical hashing at work: 4 candidate
+    // buckets per item keep eviction cascades rare even near 100 % load.
+    for i in 0..filter.capacity() as u64 {
+        let _ = filter.insert(format!("bulk-{i}").as_bytes());
+    }
+    let stats = filter.stats();
+    println!(
+        "bulk fill: load factor {:.2}%, {:.2} evictions/insert, {} failed inserts",
+        filter.load_factor() * 100.0,
+        stats.kicks_per_insert(),
+        stats.failed_inserts,
+    );
+    Ok(())
+}

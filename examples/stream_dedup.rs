@@ -1,0 +1,75 @@
+//! Stream deduplication with a Vertical Cuckoo Filter.
+//!
+//! A telemetry pipeline sees a stream of event records, some duplicated by
+//! at-least-once delivery. A VCF in front of the expensive sink answers
+//! "seen before?" in O(1) with a bounded false-positive rate (a duplicate
+//! wrongly admitted is harmless; a *new* event wrongly dropped is not — so
+//! the no-false-negative property is the load-bearing guarantee... in the
+//! inverted sense: we drop only when the filter says "seen", accepting a
+//! tiny rate of wrongly dropped events, which we measure here).
+//!
+//! The event source is the synthetic HIGGS-like record generator — the
+//! same substitution the benchmark harness uses for the paper's dataset.
+//!
+//! ```text
+//! cargo run --release --example stream_dedup
+//! ```
+
+use vertical_cuckoo_filters::traits::Filter;
+use vertical_cuckoo_filters::vcf::{CuckooConfig, VerticalCuckooFilter};
+use vertical_cuckoo_filters::workloads::HiggsDataset;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let unique_events = 200_000usize;
+    let duplicate_every = 5; // every 5th delivery is a replay
+
+    let dataset = HiggsDataset::generate(unique_events, 1234);
+    // 2^18 slots: the 200k working set lands at ~76 % occupancy.
+    let config = CuckooConfig::with_total_slots(1 << 18).with_seed(5);
+    let mut seen = VerticalCuckooFilter::new(config)?;
+
+    let mut admitted = 0usize;
+    let mut dropped_as_duplicate = 0usize;
+    let mut wrongly_dropped = 0usize; // false positives: new event judged "seen"
+    let mut delivered = 0usize;
+
+    for (i, key) in dataset.keys().iter().enumerate() {
+        // Original delivery.
+        delivered += 1;
+        if seen.contains(key) {
+            wrongly_dropped += 1;
+        } else {
+            seen.insert(key)?;
+            admitted += 1;
+        }
+        // Simulated at-least-once replay of an earlier event.
+        if i % duplicate_every == 0 && i > 0 {
+            delivered += 1;
+            let replay = &dataset.keys()[i / 2];
+            if seen.contains(replay) {
+                dropped_as_duplicate += 1;
+            } else {
+                // Cannot happen: the filter has no false negatives.
+                unreachable!("replayed event not found — false negative!");
+            }
+        }
+    }
+
+    println!("deliveries:            {delivered}");
+    println!("admitted (unique):     {admitted}");
+    println!("dropped (duplicate):   {dropped_as_duplicate}");
+    println!("wrongly dropped (FP):  {wrongly_dropped}");
+    println!(
+        "false-positive rate:   {:.5}% (Equ. 10 bound at this load: {:.5}%)",
+        100.0 * wrongly_dropped as f64 / unique_events as f64,
+        100.0
+            * vertical_cuckoo_filters::analysis::fpr_upper_bound(0.984, 4, seen.load_factor(), 14)
+    );
+    println!("filter load factor:    {:.1}%", seen.load_factor() * 100.0);
+
+    // Every replayed duplicate was caught — the no-false-negative
+    // guarantee in action.
+    // Replays happen at i = 5, 10, …, i.e. (n − 1) / 5 of them.
+    assert_eq!(dropped_as_duplicate, (unique_events - 1) / duplicate_every);
+    Ok(())
+}

@@ -1,0 +1,78 @@
+//! Tuning the `r` knob: load factor vs false positive rate across the
+//! IVCF and DVCF ladders (the paper's Section IV trade-off).
+//!
+//! IVCF moves `r` in discrete steps by reshaping the bitmask; DVCF moves
+//! it continuously with the fingerprint threshold `Δt`. This example
+//! sweeps both and prints the achieved (load factor, FPR) pairs so you
+//! can pick an operating point for your application.
+//!
+//! ```text
+//! cargo run --release --example tuning_tradeoff
+//! ```
+
+use vertical_cuckoo_filters::analysis;
+use vertical_cuckoo_filters::traits::Filter;
+use vertical_cuckoo_filters::vcf::{CuckooConfig, Dvcf, VerticalCuckooFilter};
+use vertical_cuckoo_filters::workloads::KeyStream;
+
+fn evaluate(filter: &mut dyn Filter, slots: usize) -> (f64, f64) {
+    let keys = KeyStream::new(11).take_vec(slots);
+    let mut stored = 0usize;
+    for key in &keys {
+        if filter.insert(key).is_ok() {
+            stored += 1;
+        }
+    }
+    let aliens = KeyStream::new(0xa11e4).take_vec(200_000);
+    let false_positives = aliens.iter().filter(|k| filter.contains(k)).count();
+    (
+        stored as f64 / filter.capacity() as f64,
+        false_positives as f64 / aliens.len() as f64,
+    )
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let slots = 1usize << 16;
+    let config = CuckooConfig::with_total_slots(slots).with_seed(3);
+
+    println!(
+        "{:>8}  {:>7}  {:>7}  {:>11}  {:>13}",
+        "filter", "r", "LF(%)", "FPR(x1e-3)", "bound(x1e-3)"
+    );
+
+    // IVCF ladder: discrete r via bitmask shape (Equ. 8).
+    for ones in 1..=7u32 {
+        let mut filter = VerticalCuckooFilter::with_mask_ones(config, ones)?;
+        let r = filter.expected_r();
+        let (lf, fpr) = evaluate(&mut filter, slots);
+        println!(
+            "{:>8}  {:>7.4}  {:>7.2}  {:>11.3}  {:>13.3}",
+            filter.name(),
+            r,
+            lf * 100.0,
+            fpr * 1e3,
+            analysis::fpr_upper_bound(r, 4, lf, 14) * 1e3
+        );
+    }
+
+    println!();
+
+    // DVCF ladder: continuous r via the Δt threshold (Equ. 9).
+    for j in 1..=8u32 {
+        let r = f64::from(j) / 8.0;
+        let mut filter = Dvcf::with_r(config, r)?;
+        let (lf, fpr) = evaluate(&mut filter, slots);
+        println!(
+            "{:>8}  {:>7.4}  {:>7.2}  {:>11.3}  {:>13.3}",
+            format!("DVCF{j}"),
+            r,
+            lf * 100.0,
+            fpr * 1e3,
+            analysis::fpr_upper_bound(r, 4, lf, 14) * 1e3
+        );
+    }
+
+    println!("\nRead a row as: spending r (more candidate buckets per item) buys load");
+    println!("factor and costs false positives; Equ. 10 bounds the cost in advance.");
+    Ok(())
+}

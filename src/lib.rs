@@ -1,0 +1,65 @@
+//! # vertical-cuckoo-filters
+//!
+//! Facade crate for the Vertical Cuckoo Filter workspace — a from-scratch
+//! Rust reproduction of *"The Vertical Cuckoo Filters: A Family of
+//! Insertion-friendly Sketches for Online Applications"* (ICDCS 2021).
+//!
+//! Each member crate is re-exported under a short module name; the
+//! [`prelude`] pulls in the handful of types most applications need.
+//!
+//! ```
+//! use vertical_cuckoo_filters::prelude::*;
+//!
+//! let mut filter = VerticalCuckooFilter::new(CuckooConfig::new(1 << 10))?;
+//! filter.insert(b"key")?;
+//! assert!(filter.contains(b"key"));
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+//!
+//! | Module | Crate | Contents |
+//! |---|---|---|
+//! | [`vcf`] | `vcf-core` | VCF, IVCF, DVCF, k-VCF, sharded/dynamic variants, snapshots |
+//! | [`baselines`] | `vcf-baselines` | CF, DCF, Bloom, CBF, dlCBF, quotient filter |
+//! | [`table`] | `vcf-table` | bit-packed slot storage |
+//! | [`hash`] | `vcf-hash` | FNV, MurmurHash3, DJB2, SplitMix64 |
+//! | [`traits`] | `vcf-traits` | the `Filter` trait, errors, stats |
+//! | [`workloads`] | `vcf-workloads` | HIGGS-like datasets, key streams, churn traces |
+//! | [`analysis`] | `vcf-analysis` | Section V analytic model |
+//! | [`sketches`] | `vcf-sketches` | vertical-hashing Count-Min sketch |
+
+#![forbid(unsafe_code)]
+
+pub use vcf_analysis as analysis;
+pub use vcf_baselines as baselines;
+pub use vcf_core as vcf;
+pub use vcf_hash as hash;
+pub use vcf_sketches as sketches;
+pub use vcf_table as table;
+pub use vcf_traits as traits;
+pub use vcf_workloads as workloads;
+
+/// The types most applications need, in one import.
+pub mod prelude {
+    pub use vcf_baselines::CuckooFilter;
+    pub use vcf_core::{CuckooConfig, Dvcf, DynamicVcf, KVcf, ShardedVcf, VerticalCuckooFilter};
+    pub use vcf_hash::HashKind;
+    pub use vcf_traits::{BuildError, Filter, FilterExt, InsertError, Stats};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn prelude_covers_the_basics() {
+        let mut filter =
+            VerticalCuckooFilter::new(CuckooConfig::new(64).with_hash(HashKind::Djb2)).unwrap();
+        filter.insert(b"a").unwrap();
+        assert!(filter.contains(b"a"));
+        let keys: Vec<Vec<u8>> = (0..10u8).map(|i| vec![i]).collect();
+        assert_eq!(
+            filter.insert_best_effort(keys.iter().map(Vec::as_slice)),
+            10
+        );
+    }
+}

@@ -1,0 +1,96 @@
+//! Long-running soak tests. The default-run variants are sized for CI;
+//! the `#[ignore]`d variants run millions of operations
+//! (`cargo test --release -- --ignored`).
+
+use vertical_cuckoo_filters::baselines::CuckooFilter;
+use vertical_cuckoo_filters::hash::SplitMix64;
+use vertical_cuckoo_filters::traits::Filter;
+use vertical_cuckoo_filters::vcf::{CuckooConfig, VerticalCuckooFilter};
+
+/// Random-churn soak: keeps a filter at ~85 % occupancy while inserting,
+/// deleting and querying random members of a bounded key universe,
+/// verifying the no-false-negative invariant continuously against a
+/// multiset oracle.
+fn soak(filter: &mut dyn Filter, ops: u64, seed: u64) {
+    let name = filter.name();
+    let capacity = filter.capacity();
+    let target = capacity * 85 / 100;
+    let universe = capacity as u64 * 4;
+    let mut oracle: std::collections::HashMap<u64, u32> = std::collections::HashMap::new();
+    let mut live: Vec<u64> = Vec::new();
+    let mut rng = SplitMix64::new(seed);
+    let key = |id: u64| format!("soak-{id}").into_bytes();
+
+    for step in 0..ops {
+        let fill = filter.len();
+        let want_insert = fill < target || (rng.next_below(4) != 0 && fill < capacity);
+        if want_insert {
+            let id = rng.next_below(universe);
+            if filter.insert(&key(id)).is_ok() {
+                *oracle.entry(id).or_insert(0) += 1;
+                live.push(id);
+            }
+        } else if !live.is_empty() {
+            let at = rng.next_below(live.len() as u64) as usize;
+            let id = live.swap_remove(at);
+            assert!(
+                filter.delete(&key(id)),
+                "{name}: step {step}: lost live id {id}"
+            );
+            let count = oracle.get_mut(&id).expect("oracle holds live ids");
+            *count -= 1;
+            if *count == 0 {
+                oracle.remove(&id);
+            }
+        }
+        // Spot-check a live item every few steps.
+        if step % 7 == 0 && !live.is_empty() {
+            let id = live[rng.next_below(live.len() as u64) as usize];
+            assert!(
+                filter.contains(&key(id)),
+                "{name}: step {step}: false negative for live id {id}"
+            );
+        }
+    }
+    // Full sweep at the end.
+    for (&id, &count) in &oracle {
+        if count > 0 {
+            assert!(
+                filter.contains(&key(id)),
+                "{name}: final sweep lost id {id}"
+            );
+        }
+    }
+    assert_eq!(
+        filter.len(),
+        oracle.values().map(|&c| c as usize).sum::<usize>()
+    );
+}
+
+#[test]
+fn soak_vcf_short() {
+    let mut f =
+        VerticalCuckooFilter::new(CuckooConfig::with_total_slots(1 << 12).with_seed(1)).unwrap();
+    soak(&mut f, 60_000, 11);
+}
+
+#[test]
+fn soak_cf_short() {
+    let mut f = CuckooFilter::new(CuckooConfig::with_total_slots(1 << 12).with_seed(2)).unwrap();
+    soak(&mut f, 60_000, 12);
+}
+
+#[test]
+#[ignore = "multi-minute soak; run with --ignored --release"]
+fn soak_vcf_long() {
+    let mut f =
+        VerticalCuckooFilter::new(CuckooConfig::with_total_slots(1 << 16).with_seed(3)).unwrap();
+    soak(&mut f, 5_000_000, 13);
+}
+
+#[test]
+#[ignore = "multi-minute soak; run with --ignored --release"]
+fn soak_cf_long() {
+    let mut f = CuckooFilter::new(CuckooConfig::with_total_slots(1 << 16).with_seed(4)).unwrap();
+    soak(&mut f, 5_000_000, 14);
+}
