@@ -175,6 +175,33 @@ impl Filter for CuckooFilter {
         found
     }
 
+    /// Batched lookup: derives `(fingerprint, B1, B2)` for every item up
+    /// front, touching both buckets as each key is produced, then probes
+    /// the pair per item in a second pass.
+    fn contains_batch(&self, items: &[&[u8]]) -> Vec<bool> {
+        let mut keys = Vec::with_capacity(items.len());
+        for item in items {
+            let (fingerprint, b1) = self.key_of(item);
+            let b2 = self.alternate(b1, fingerprint);
+            self.table.touch_bucket(b1);
+            self.table.touch_bucket(b2);
+            keys.push((fingerprint, b1, b2));
+        }
+        let slots = self.table.slots_per_bucket() as u64;
+        let mut out = Vec::with_capacity(items.len());
+        for &(fingerprint, b1, b2) in &keys {
+            let mut probes = slots;
+            let mut found = self.table.contains(b1, fingerprint);
+            if !found {
+                probes += slots;
+                found = self.table.contains(b2, fingerprint);
+            }
+            self.counters.record_lookup(probes, 2);
+            out.push(found);
+        }
+        out
+    }
+
     fn delete(&mut self, item: &[u8]) -> bool {
         let (fingerprint, b1) = self.key_of(item);
         let b2 = self.alternate(b1, fingerprint);

@@ -307,6 +307,45 @@ impl Filter for KVcf {
         found
     }
 
+    /// Batched lookup: hashes every item and touches its primary bucket
+    /// (`B1`, candidate `e = 0`) first, then probes the `k` candidates per
+    /// item with exact `(fingerprint, mark)` SWAR matches.
+    fn contains_batch(&self, items: &[&[u8]]) -> Vec<bool> {
+        let mut keys = Vec::with_capacity(items.len());
+        for item in items {
+            let (fingerprint, b1) = self.key_of(item);
+            let hfp = self.hash.hash_fingerprint(fingerprint);
+            for e in 0..self.k() {
+                self.table.touch_bucket(self.candidate(b1, hfp, e));
+            }
+            keys.push((fingerprint, b1, hfp));
+        }
+        let k = self.k();
+        let slots = self.table.slots_per_bucket() as u64;
+        let mut out = Vec::with_capacity(items.len());
+        for &(fingerprint, b1, hfp) in &keys {
+            let mut probes = 0u64;
+            let mut found = false;
+            for e in 0..k {
+                let bucket = self.candidate(b1, hfp, e);
+                probes += slots;
+                if self.table.contains(
+                    bucket,
+                    MarkedEntry {
+                        fingerprint,
+                        mark: e as u8,
+                    },
+                ) {
+                    found = true;
+                    break;
+                }
+            }
+            self.counters.record_lookup(probes, k as u64);
+            out.push(found);
+        }
+        out
+    }
+
     fn delete(&mut self, item: &[u8]) -> bool {
         let (fingerprint, b1) = self.key_of(item);
         let hfp = self.hash.hash_fingerprint(fingerprint);

@@ -139,6 +139,39 @@ impl ShardedVcf {
             .contains(item)
     }
 
+    /// Batched membership test: routes the whole batch first, then visits
+    /// each shard **once** — one read-lock acquisition per touched shard
+    /// instead of one per item — and runs the shard's own batched probe
+    /// over its group. Answers come back in input order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a shard lock is poisoned.
+    pub fn contains_batch(&self, items: &[&[u8]]) -> Vec<bool> {
+        // Pass 1: route every item; collect each shard's (input position,
+        // item) group.
+        let mut groups: Vec<Vec<usize>> = vec![Vec::new(); self.shards.len()];
+        for (pos, item) in items.iter().enumerate() {
+            groups[self.shard_of(item)].push(pos);
+        }
+        // Pass 2: one lock + one batched probe per non-empty shard.
+        let mut out = vec![false; items.len()];
+        for (shard, group) in groups.iter().enumerate() {
+            if group.is_empty() {
+                continue;
+            }
+            let shard_items: Vec<&[u8]> = group.iter().map(|&pos| items[pos]).collect();
+            let answers = self.shards[shard]
+                .read()
+                .expect("shard lock poisoned")
+                .contains_batch(&shard_items);
+            for (&pos, answer) in group.iter().zip(answers) {
+                out[pos] = answer;
+            }
+        }
+        out
+    }
+
     /// Removes one copy of `item`.
     ///
     /// # Panics
@@ -204,6 +237,10 @@ impl Filter for ShardedVcf {
 
     fn contains(&self, item: &[u8]) -> bool {
         ShardedVcf::contains(self, item)
+    }
+
+    fn contains_batch(&self, items: &[&[u8]]) -> Vec<bool> {
+        ShardedVcf::contains_batch(self, items)
     }
 
     fn delete(&mut self, item: &[u8]) -> bool {

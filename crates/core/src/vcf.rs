@@ -300,6 +300,42 @@ impl Filter for VerticalCuckooFilter {
         found
     }
 
+    /// Batched Algorithm 2: hashes every item up front, touching each
+    /// item's primary bucket as its key is produced, then probes the four
+    /// candidates per item in a second pass. Hashing and the early bucket
+    /// reads overlap the cache misses of later items instead of
+    /// serialising hash → miss → hash → miss per lookup.
+    fn contains_batch(&self, items: &[&[u8]]) -> Vec<bool> {
+        let mut keys = Vec::with_capacity(items.len());
+        for item in items {
+            let (fingerprint, b1) = self.key_of(item);
+            let cands = self.candidates_of(fingerprint, b1);
+            // Early touch of every candidate bucket: starts the lines
+            // toward the cache while the remaining keys hash.
+            for bucket in cands.iter() {
+                self.table.touch_bucket(bucket);
+            }
+            keys.push((fingerprint, cands));
+        }
+        let slots = self.table.slots_per_bucket() as u64;
+        let mut out = Vec::with_capacity(items.len());
+        for &(fingerprint, cands) in &keys {
+            let mut probes = 0u64;
+            let mut found = false;
+            for bucket in cands.iter() {
+                probes += slots;
+                if self.table.contains(bucket, fingerprint) {
+                    found = true;
+                    break;
+                }
+            }
+            self.counters
+                .record_lookup(probes, cands.buckets.len() as u64);
+            out.push(found);
+        }
+        out
+    }
+
     /// Algorithm 3.
     fn delete(&mut self, item: &[u8]) -> bool {
         let (fingerprint, b1) = self.key_of(item);

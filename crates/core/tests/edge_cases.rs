@@ -19,7 +19,10 @@ fn minimal_table_four_buckets() {
             stored += 1;
         }
     }
-    assert!(stored >= 12, "tiny table should still fill most slots: {stored}");
+    assert!(
+        stored >= 12,
+        "tiny table should still fill most slots: {stored}"
+    );
     for i in 0..16u64 {
         // No false negatives for whatever was acknowledged.
         if f.contains(&key(i)) {
@@ -31,7 +34,9 @@ fn minimal_table_four_buckets() {
 #[test]
 fn single_slot_buckets() {
     // b = 1: pure cuckoo hashing, hardest case for load factor.
-    let config = CuckooConfig::new(1 << 10).with_slots_per_bucket(1).with_seed(2);
+    let config = CuckooConfig::new(1 << 10)
+        .with_slots_per_bucket(1)
+        .with_seed(2);
     let mut f = VerticalCuckooFilter::new(config).unwrap();
     let n = 1 << 10;
     let keys: Vec<Vec<u8>> = (0..n).map(key).collect();
@@ -49,7 +54,9 @@ fn single_slot_buckets() {
 
 #[test]
 fn eight_slot_buckets() {
-    let config = CuckooConfig::new(1 << 7).with_slots_per_bucket(8).with_seed(3);
+    let config = CuckooConfig::new(1 << 7)
+        .with_slots_per_bucket(8)
+        .with_seed(3);
     let mut f = VerticalCuckooFilter::new(config).unwrap();
     assert_eq!(f.capacity(), (1 << 7) * 8);
     for i in 0..900u64 {
@@ -64,7 +71,9 @@ fn eight_slot_buckets() {
 fn minimal_fingerprint_two_bits() {
     // f = 2: only 3 distinct non-zero fingerprints. Massive collisions,
     // but the structure must stay correct (no false negatives).
-    let config = CuckooConfig::new(1 << 8).with_fingerprint_bits(2).with_seed(4);
+    let config = CuckooConfig::new(1 << 8)
+        .with_fingerprint_bits(2)
+        .with_seed(4);
     let mut f = VerticalCuckooFilter::new(config).unwrap();
     let mut acknowledged = Vec::new();
     for i in 0..600u64 {
@@ -79,7 +88,9 @@ fn minimal_fingerprint_two_bits() {
 
 #[test]
 fn maximal_fingerprint_thirty_two_bits() {
-    let config = CuckooConfig::new(1 << 8).with_fingerprint_bits(32).with_seed(5);
+    let config = CuckooConfig::new(1 << 8)
+        .with_fingerprint_bits(32)
+        .with_seed(5);
     let mut f = VerticalCuckooFilter::new(config).unwrap();
     for i in 0..900u64 {
         f.insert(&key(i)).unwrap();
@@ -97,8 +108,7 @@ fn dvcf_delta_t_boundaries() {
     // Δt = 0 (pure CF behaviour) and Δt = T/2 (pure VCF behaviour) are
     // both legal and functional.
     for delta_t in [0u32, 1 << 13] {
-        let mut f =
-            Dvcf::new(CuckooConfig::new(1 << 8).with_seed(6), delta_t).unwrap();
+        let mut f = Dvcf::new(CuckooConfig::new(1 << 8).with_seed(6), delta_t).unwrap();
         for i in 0..700u64 {
             f.insert(&key(i)).unwrap();
         }
@@ -111,14 +121,19 @@ fn dvcf_delta_t_boundaries() {
 #[test]
 fn kvcf_k2_and_k3_degenerate_paths() {
     for k in [2usize, 3] {
-        let config = CuckooConfig::new(1 << 7).with_fingerprint_bits(16).with_seed(7);
+        let config = CuckooConfig::new(1 << 7)
+            .with_fingerprint_bits(16)
+            .with_seed(7);
         let mut f = KVcf::new(config, k).unwrap();
         for i in 0..400u64 {
             let _ = f.insert(&key(i));
         }
         let present = (0..400u64).filter(|i| f.contains(&key(*i))).count();
         let stored = f.len();
-        assert!(present >= stored, "k={k}: acknowledged items must be present");
+        assert!(
+            present >= stored,
+            "k={k}: acknowledged items must be present"
+        );
     }
 }
 
@@ -132,7 +147,10 @@ fn empty_key_and_huge_key() {
     assert!(f.contains(&huge));
     assert!(f.delete(b""));
     assert!(!f.contains(b""));
-    assert!(f.contains(&huge), "deleting the empty key must not affect others");
+    assert!(
+        f.contains(&huge),
+        "deleting the empty key must not affect others"
+    );
 }
 
 #[test]
@@ -161,8 +179,7 @@ fn explicit_mask_pairs_work_end_to_end() {
     // A hand-picked non-contiguous bm1.
     let masks = MaskPair::from_bm1(0b10_1001_0110_0011, 14).unwrap();
     let config = CuckooConfig::new(1 << 10).with_seed(10);
-    let mut f =
-        VerticalCuckooFilter::with_masks(config, masks, "custom".into()).unwrap();
+    let mut f = VerticalCuckooFilter::with_masks(config, masks, "custom".into()).unwrap();
     let n = f.capacity() as u64;
     let mut stored = 0u64;
     for i in 0..n {
@@ -170,7 +187,10 @@ fn explicit_mask_pairs_work_end_to_end() {
             stored += 1;
         }
     }
-    assert!(stored as f64 / n as f64 > 0.99, "custom masks should behave like VCF");
+    assert!(
+        stored as f64 / n as f64 > 0.99,
+        "custom masks should behave like VCF"
+    );
     assert_eq!(f.name(), "custom");
 }
 

@@ -1,0 +1,197 @@
+//! Offline drop-in shim for the `rand` crate facade.
+//!
+//! The build container has no access to crates.io, so the workspace ships
+//! this minimal implementation of the exact `rand` 0.8 API surface it
+//! uses: [`rngs::SmallRng`], [`SeedableRng::seed_from_u64`],
+//! [`Rng::gen_range`] over integer ranges, and [`Rng::gen_bool`].
+//!
+//! The generator is xoshiro256++ seeded through SplitMix64 — the same
+//! construction the real `SmallRng` uses on 64-bit targets. Streams are
+//! deterministic per seed (which is all the filters rely on) but are not
+//! guaranteed to be bit-identical to upstream `rand`.
+
+#![forbid(unsafe_code)]
+
+use std::ops::{Range, RangeInclusive};
+
+/// Seeding interface: the only constructor the workspace uses.
+pub trait SeedableRng: Sized {
+    /// Builds a generator from a 64-bit seed (SplitMix64-expanded).
+    fn seed_from_u64(state: u64) -> Self;
+}
+
+/// Integer types drawable uniformly from a bounded span (the shim's
+/// stand-in for `rand::distributions::uniform::SampleUniform`).
+pub trait SampleUniform: Copy + PartialOrd {
+    /// `hi - lo` as an unsigned 64-bit span (`lo <= hi`).
+    fn span(lo: Self, hi: Self) -> u64;
+    /// `lo + offset`, where `offset <= span(lo, hi)`.
+    fn offset(lo: Self, offset: u64) -> Self;
+}
+
+macro_rules! impl_sample_uniform {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn span(lo: Self, hi: Self) -> u64 {
+                (hi as i128 - lo as i128) as u64
+            }
+            fn offset(lo: Self, offset: u64) -> Self {
+                lo.wrapping_add(offset as $t)
+            }
+        }
+    )*};
+}
+
+impl_sample_uniform!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// Ranges that can be sampled uniformly to a `T` by [`Rng::gen_range`].
+///
+/// Mirrors real `rand`'s design: a *single* blanket impl per range shape
+/// so type inference unifies `T` with the range's literal type, letting
+/// `buckets[rng.gen_range(0..4)]` infer `usize` from the indexing context.
+pub trait SampleRange<T> {
+    /// Draws one uniform value from the range.
+    fn sample<R: Rng + ?Sized>(self, rng: &mut R) -> T;
+}
+
+impl<T: SampleUniform> SampleRange<T> for Range<T> {
+    fn sample<R: Rng + ?Sized>(self, rng: &mut R) -> T {
+        assert!(self.start < self.end, "cannot sample empty range");
+        let span = T::span(self.start, self.end);
+        T::offset(self.start, rng.next_u64() % span)
+    }
+}
+
+impl<T: SampleUniform> SampleRange<T> for RangeInclusive<T> {
+    fn sample<R: Rng + ?Sized>(self, rng: &mut R) -> T {
+        let (lo, hi) = self.into_inner();
+        assert!(lo <= hi, "cannot sample empty range");
+        let span = T::span(lo, hi);
+        if span == u64::MAX {
+            return T::offset(lo, rng.next_u64());
+        }
+        T::offset(lo, rng.next_u64() % (span + 1))
+    }
+}
+
+/// The subset of `rand::Rng` the workspace calls.
+pub trait Rng {
+    /// Next raw 64 bits from the generator.
+    fn next_u64(&mut self) -> u64;
+
+    /// Uniform draw from `range` (half-open or inclusive integer ranges).
+    fn gen_range<T, Rg: SampleRange<T>>(&mut self, range: Rg) -> T
+    where
+        Self: Sized,
+    {
+        range.sample(self)
+    }
+
+    /// Bernoulli draw with probability `p` of `true`.
+    fn gen_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        assert!((0.0..=1.0).contains(&p), "p must lie in [0, 1]");
+        // 53 random mantissa bits, exactly like rand's standard uniform.
+        let unit = (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        unit < p
+    }
+}
+
+/// Small, fast generators.
+pub mod rngs {
+    use super::{Rng, SeedableRng};
+
+    /// xoshiro256++ — the shim's stand-in for `rand::rngs::SmallRng`.
+    #[derive(Debug, Clone)]
+    pub struct SmallRng {
+        s: [u64; 4],
+    }
+
+    impl SeedableRng for SmallRng {
+        fn seed_from_u64(state: u64) -> Self {
+            // SplitMix64 expansion, as recommended by the xoshiro authors.
+            let mut x = state;
+            let mut next = move || {
+                x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+                let mut z = x;
+                z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+                z ^ (z >> 31)
+            };
+            let s = [next(), next(), next(), next()];
+            Self { s }
+        }
+    }
+
+    impl Rng for SmallRng {
+        fn next_u64(&mut self) -> u64 {
+            let result = self.s[0]
+                .wrapping_add(self.s[3])
+                .rotate_left(23)
+                .wrapping_add(self.s[0]);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::SmallRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = SmallRng::seed_from_u64(42);
+        let mut b = SmallRng::seed_from_u64(42);
+        for _ in 0..64 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = SmallRng::seed_from_u64(43);
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn gen_range_stays_in_bounds() {
+        let mut rng = SmallRng::seed_from_u64(7);
+        for _ in 0..10_000 {
+            let v = rng.gen_range(0..13usize);
+            assert!(v < 13);
+            let w = rng.gen_range(5..=9u32);
+            assert!((5..=9).contains(&w));
+        }
+    }
+
+    #[test]
+    fn gen_range_covers_all_values() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let mut seen = [false; 4];
+        for _ in 0..1000 {
+            seen[rng.gen_range(0..4usize)] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn gen_bool_tracks_probability() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        let hits = (0..100_000).filter(|_| rng.gen_bool(0.25)).count();
+        let rate = hits as f64 / 100_000.0;
+        assert!((rate - 0.25).abs() < 0.02, "rate {rate}");
+    }
+
+    #[test]
+    fn gen_bool_extremes() {
+        let mut rng = SmallRng::seed_from_u64(5);
+        assert!(!rng.gen_bool(0.0));
+        assert!(rng.gen_bool(1.0));
+    }
+}

@@ -1,6 +1,6 @@
 //! Bucketed storage of non-zero fingerprints.
 
-use crate::packed::PackedTable;
+use crate::bucket::{BucketEngine, BucketWords};
 use crate::{MAX_BUCKET_SLOTS, MAX_FINGERPRINT_BITS, MIN_FINGERPRINT_BITS};
 use vcf_traits::BuildError;
 
@@ -10,6 +10,12 @@ use vcf_traits::BuildError;
 /// Fingerprints are `u32` values in `1..2^f` — zero is reserved as the
 /// empty sentinel, which is why the filter layer remaps a zero fingerprint
 /// to `1` before storing (see `vcf_core`).
+///
+/// Buckets are word-aligned and probed through the SWAR kernels of
+/// [`BucketEngine`]: every bucket-wide operation (`find`, `contains`,
+/// `try_insert`, `bucket_is_full`, `bucket_len`, `remove_one`) loads the
+/// bucket's one or two words once and tests all slots with a handful of
+/// branch-free word operations instead of a per-slot bit-extraction loop.
 ///
 /// # Examples
 ///
@@ -24,10 +30,9 @@ use vcf_traits::BuildError;
 /// ```
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct FingerprintTable {
-    slots: PackedTable,
+    words: Vec<u64>,
+    engine: BucketEngine,
     buckets: usize,
-    slots_per_bucket: usize,
-    fingerprint_bits: u32,
     occupied: usize,
 }
 
@@ -61,12 +66,11 @@ impl FingerprintTable {
                 max: MAX_FINGERPRINT_BITS,
             });
         }
-        let slots = PackedTable::new(buckets * slots_per_bucket, fingerprint_bits)?;
+        let engine = BucketEngine::new(slots_per_bucket, fingerprint_bits)?;
         Ok(Self {
-            slots,
+            words: vec![0u64; engine.storage_words(buckets)],
+            engine,
             buckets,
-            slots_per_bucket,
-            fingerprint_bits,
             occupied: 0,
         })
     }
@@ -80,19 +84,19 @@ impl FingerprintTable {
     /// Slots per bucket (`b`).
     #[inline]
     pub fn slots_per_bucket(&self) -> usize {
-        self.slots_per_bucket
+        self.engine.slots()
     }
 
     /// Fingerprint width in bits (`f`).
     #[inline]
     pub fn fingerprint_bits(&self) -> u32 {
-        self.fingerprint_bits
+        self.engine.width()
     }
 
     /// Total slot capacity (`m · b`).
     #[inline]
     pub fn capacity(&self) -> usize {
-        self.buckets * self.slots_per_bucket
+        self.buckets * self.engine.slots()
     }
 
     /// Number of occupied slots.
@@ -108,20 +112,36 @@ impl FingerprintTable {
 
     /// Heap size of the packed storage in bytes.
     pub fn storage_bytes(&self) -> usize {
-        self.slots.storage_bytes()
+        self.words.len() * 8
     }
 
+    /// The bucket engine probing this table (geometry + SWAR kernels).
     #[inline]
-    fn slot_index(&self, bucket: usize, slot: usize) -> usize {
+    pub fn engine(&self) -> &BucketEngine {
+        &self.engine
+    }
+
+    /// Loads `bucket`'s words once for repeated kernel probes.
+    #[inline]
+    pub fn read_bucket(&self, bucket: usize) -> BucketWords {
         debug_assert!(bucket < self.buckets, "bucket {bucket} out of range");
-        debug_assert!(slot < self.slots_per_bucket, "slot {slot} out of range");
-        bucket * self.slots_per_bucket + slot
+        self.engine.read_bucket(&self.words, bucket)
+    }
+
+    /// Pulls `bucket`'s cache line toward the core with a single word
+    /// load (kept alive by `black_box`) — the batching layer's
+    /// early-touch hook, much cheaper than materialising the bucket.
+    #[inline]
+    pub fn touch_bucket(&self, bucket: usize) {
+        debug_assert!(bucket < self.buckets, "bucket {bucket} out of range");
+        std::hint::black_box(self.words[bucket * self.engine.words_per_bucket()]);
     }
 
     /// Reads the fingerprint in `(bucket, slot)`; `0` means empty.
     #[inline]
     pub fn get(&self, bucket: usize, slot: usize) -> u32 {
-        self.slots.get(self.slot_index(bucket, slot)) as u32
+        debug_assert!(bucket < self.buckets, "bucket {bucket} out of range");
+        self.engine.get_slot(&self.words, bucket, slot) as u32
     }
 
     /// Overwrites `(bucket, slot)` with `fingerprint` (may be `0` to
@@ -132,9 +152,14 @@ impl FingerprintTable {
     /// Panics if the fingerprint does not fit in `f` bits or the position
     /// is out of range.
     pub fn set(&mut self, bucket: usize, slot: usize, fingerprint: u32) {
-        let index = self.slot_index(bucket, slot);
-        let old = self.slots.get(index);
-        self.slots.set(index, u64::from(fingerprint));
+        assert!(
+            u64::from(fingerprint) <= self.engine.lane_mask(),
+            "fingerprint {fingerprint:#x} exceeds {} bits",
+            self.engine.width()
+        );
+        let old = self.engine.get_slot(&self.words, bucket, slot);
+        self.engine
+            .set_slot(&mut self.words, bucket, slot, u64::from(fingerprint));
         match (old == 0, fingerprint == 0) {
             (true, false) => self.occupied += 1,
             (false, true) => self.occupied -= 1,
@@ -150,25 +175,27 @@ impl FingerprintTable {
     /// Panics if `fingerprint` is zero (the empty sentinel).
     pub fn try_insert(&mut self, bucket: usize, fingerprint: u32) -> Option<usize> {
         assert!(fingerprint != 0, "fingerprint 0 is the empty sentinel");
-        for slot in 0..self.slots_per_bucket {
-            if self.get(bucket, slot) == 0 {
-                self.set(bucket, slot, fingerprint);
-                return Some(slot);
-            }
-        }
-        None
+        let loaded = self.read_bucket(bucket);
+        let slot = self.engine.first_empty_slot(&loaded)?;
+        self.engine
+            .set_slot(&mut self.words, bucket, slot, u64::from(fingerprint));
+        self.occupied += 1;
+        Some(slot)
     }
 
     /// Returns the slot holding `fingerprint` in `bucket`, if any.
     #[inline]
     pub fn find(&self, bucket: usize, fingerprint: u32) -> Option<usize> {
-        (0..self.slots_per_bucket).find(|&slot| self.get(bucket, slot) == fingerprint)
+        let loaded = self.read_bucket(bucket);
+        self.engine.find_in_bucket(&loaded, u64::from(fingerprint))
     }
 
     /// Whether `bucket` holds at least one copy of `fingerprint`.
     #[inline]
     pub fn contains(&self, bucket: usize, fingerprint: u32) -> bool {
-        self.find(bucket, fingerprint).is_some()
+        let loaded = self.read_bucket(bucket);
+        self.engine
+            .contains_in_bucket(&loaded, u64::from(fingerprint))
     }
 
     /// Removes one copy of `fingerprint` from `bucket`; returns whether a
@@ -179,7 +206,8 @@ impl FingerprintTable {
         }
         match self.find(bucket, fingerprint) {
             Some(slot) => {
-                self.set(bucket, slot, 0);
+                self.engine.set_slot(&mut self.words, bucket, slot, 0);
+                self.occupied -= 1;
                 true
             }
             None => false,
@@ -188,14 +216,14 @@ impl FingerprintTable {
 
     /// Whether `bucket` has no empty slot.
     pub fn bucket_is_full(&self, bucket: usize) -> bool {
-        (0..self.slots_per_bucket).all(|slot| self.get(bucket, slot) != 0)
+        let loaded = self.read_bucket(bucket);
+        self.engine.first_empty_slot(&loaded).is_none()
     }
 
     /// Number of occupied slots in `bucket`.
     pub fn bucket_len(&self, bucket: usize) -> usize {
-        (0..self.slots_per_bucket)
-            .filter(|&slot| self.get(bucket, slot) != 0)
-            .count()
+        let loaded = self.read_bucket(bucket);
+        self.engine.bucket_len(&loaded)
     }
 
     /// Swaps `fingerprint` with the resident of `(bucket, slot)` and
@@ -206,22 +234,27 @@ impl FingerprintTable {
     /// Panics if `fingerprint` is zero.
     pub fn swap(&mut self, bucket: usize, slot: usize, fingerprint: u32) -> u32 {
         assert!(fingerprint != 0, "fingerprint 0 is the empty sentinel");
-        let old = self.get(bucket, slot);
-        self.set(bucket, slot, fingerprint);
+        let old = self.engine.get_slot(&self.words, bucket, slot) as u32;
+        self.engine
+            .set_slot(&mut self.words, bucket, slot, u64::from(fingerprint));
+        if old == 0 {
+            self.occupied += 1;
+        }
         old
     }
 
     /// Removes every stored fingerprint.
     pub fn clear(&mut self) {
-        self.slots.clear();
+        self.words.fill(0);
         self.occupied = 0;
     }
 
     /// Iterates `(bucket, slot, fingerprint)` over occupied slots.
     pub fn iter(&self) -> impl Iterator<Item = (usize, usize, u32)> + '_ {
         (0..self.buckets).flat_map(move |bucket| {
-            (0..self.slots_per_bucket).filter_map(move |slot| {
-                let fp = self.get(bucket, slot);
+            let loaded = self.read_bucket(bucket);
+            (0..self.engine.slots()).filter_map(move |slot| {
+                let fp = self.engine.lane(&loaded, slot) as u32;
                 (fp != 0).then_some((bucket, slot, fp))
             })
         })
@@ -357,5 +390,15 @@ mod tests {
         let mut t = FingerprintTable::new(4, 4, 32).unwrap();
         t.try_insert(0, u32::MAX).unwrap();
         assert!(t.contains(0, u32::MAX));
+    }
+
+    #[test]
+    fn buckets_are_word_aligned() {
+        // f = 12, b = 4 → one word per bucket.
+        let t = FingerprintTable::new(10, 4, 12).unwrap();
+        assert_eq!(t.storage_bytes(), 10 * 8);
+        // f = 16, b = 8 → two words per bucket.
+        let t = FingerprintTable::new(10, 8, 16).unwrap();
+        assert_eq!(t.storage_bytes(), 10 * 16);
     }
 }

@@ -8,10 +8,14 @@
 //! (Section III-C). This crate provides:
 //!
 //! * [`PackedTable`] — a raw bit-packed array of fixed-width slots,
+//! * [`BucketEngine`] — the word-level bucket engine: a word-aligned
+//!   bucket layout plus SWAR broadcast-compare kernels that probe all
+//!   slots of a bucket in O(1) word operations,
 //! * [`FingerprintTable`] — bucketed storage of non-zero `f`-bit
-//!   fingerprints (used by CF, DCF, VCF, IVCF, DVCF),
+//!   fingerprints (used by CF, DCF, VCF, IVCF, DVCF), probed through the
+//!   bucket engine,
 //! * [`MarkedTable`] — bucketed storage of `(fingerprint, mark)` pairs
-//!   (used by k-VCF).
+//!   (used by k-VCF), likewise engine-probed.
 //!
 //! All tables use value `0` as the empty-slot sentinel, so the filter layer
 //! maps real fingerprints into `1..2^f` (the standard trick from the
@@ -33,10 +37,12 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod bucket;
 mod fingerprint;
 mod marked;
 mod packed;
 
+pub use bucket::{BucketEngine, BucketWords, MAX_BUCKET_SEGMENTS, MAX_LANE_BITS};
 pub use fingerprint::FingerprintTable;
 pub use marked::{MarkedEntry, MarkedTable};
 pub use packed::PackedTable;

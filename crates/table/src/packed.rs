@@ -90,10 +90,14 @@ impl PackedTable {
     ///
     /// # Panics
     ///
-    /// Panics if `index` is out of bounds.
+    /// In debug builds, panics if `index` is out of bounds. Release
+    /// builds skip the explicit check on this hot path — callers (the
+    /// bucketed tables, quotient filter, counting Bloom) validate
+    /// geometry at construction — but an out-of-range read beyond the
+    /// final word still panics via the slice bounds check.
     #[inline]
     pub fn get(&self, index: usize) -> u64 {
-        assert!(
+        debug_assert!(
             index < self.count,
             "slot index {index} out of bounds ({})",
             self.count
@@ -113,20 +117,24 @@ impl PackedTable {
     ///
     /// # Panics
     ///
-    /// Panics if `index` is out of bounds or `value` does not fit in the
-    /// slot width.
+    /// In debug builds, panics if `index` is out of bounds or `value`
+    /// does not fit in the slot width. Release builds skip both explicit
+    /// checks on this hot path — callers validate geometry at
+    /// construction — and instead truncate the value to the slot width,
+    /// so neighbouring slots can never be corrupted.
     #[inline]
     pub fn set(&mut self, index: usize, value: u64) {
-        assert!(
+        debug_assert!(
             index < self.count,
             "slot index {index} out of bounds ({})",
             self.count
         );
-        assert!(
+        debug_assert!(
             value <= self.mask,
             "value {value:#x} exceeds slot width {}",
             self.width
         );
+        let value = value & self.mask;
         let bit = index * self.width as usize;
         let word = bit / 64;
         let shift = (bit % 64) as u32;

@@ -1,0 +1,190 @@
+//! Property tests pinning the SWAR bucket kernels to the scalar slot loop
+//! they replaced.
+//!
+//! The bucket engine answers every probe with broadcast-compare word
+//! tricks; a single wrong carry would surface as false negatives (lost
+//! items) or phantom matches (false positives beyond the design rate) far
+//! above the storage layer. Each property below drives a kernel and its
+//! scalar oracle — a plain `for slot in 0..b` loop over `lane()` — with
+//! random geometry and random contents including the zero sentinel and
+//! duplicate lanes, and demands exact agreement.
+
+use proptest::prelude::*;
+use vcf_table::{BucketEngine, FingerprintTable};
+
+/// Builds an engine plus one bucket's worth of words holding `lanes`
+/// (truncated to the lane width, list truncated/padded to `slots`).
+fn build_bucket(slots: usize, width: u32, lanes: &[u64]) -> (BucketEngine, Vec<u64>) {
+    let engine = BucketEngine::new(slots, width).unwrap();
+    let mut words = vec![0u64; engine.storage_words(1)];
+    for slot in 0..slots {
+        let value = lanes.get(slot).copied().unwrap_or(0) & engine.lane_mask();
+        engine.set_slot(&mut words, 0, slot, value);
+    }
+    (engine, words)
+}
+
+/// The scalar oracle: first slot whose lane equals `pattern`.
+fn scalar_find(engine: &BucketEngine, words: &[u64], pattern: u64) -> Option<usize> {
+    let bucket = engine.read_bucket(words, 0);
+    (0..engine.slots()).find(|&slot| engine.lane(&bucket, slot) == pattern)
+}
+
+proptest! {
+    /// `find_in_bucket` and `contains_in_bucket` agree with the scalar
+    /// loop for random widths, bucket sizes, contents and probes.
+    #[test]
+    fn find_and_contains_match_scalar(
+        width in 1u32..=32,
+        slots in 1usize..=8,
+        lanes in prop::collection::vec(any::<u64>(), 8),
+        probe in any::<u64>(),
+    ) {
+        let (engine, words) = build_bucket(slots, width, &lanes);
+        let bucket = engine.read_bucket(&words, 0);
+        let probe = probe & engine.lane_mask();
+        let expected = scalar_find(&engine, &words, probe);
+        prop_assert_eq!(engine.find_in_bucket(&bucket, probe), expected);
+        prop_assert_eq!(engine.contains_in_bucket(&bucket, probe), expected.is_some());
+    }
+
+    /// Probing each resident lane (duplicates included) always finds the
+    /// first copy, and a probe for a value forced absent never matches.
+    #[test]
+    fn every_resident_is_found(
+        width in 1u32..=32,
+        slots in 1usize..=8,
+        lanes in prop::collection::vec(any::<u64>(), 8),
+    ) {
+        let (engine, words) = build_bucket(slots, width, &lanes);
+        let bucket = engine.read_bucket(&words, 0);
+        for slot in 0..slots {
+            let resident = engine.lane(&bucket, slot);
+            let first = (0..slots).find(|&s| engine.lane(&bucket, s) == resident);
+            prop_assert_eq!(engine.find_in_bucket(&bucket, resident), first);
+        }
+    }
+
+    /// Zero-sentinel duplicates: `first_empty_slot` and `bucket_len` agree
+    /// with the scalar loop when lanes are forced to be mostly zero/dup.
+    #[test]
+    fn empty_and_len_match_scalar(
+        width in 1u32..=32,
+        slots in 1usize..=8,
+        // Small value domain: lots of zeros and collisions.
+        lanes in prop::collection::vec(0u64..3, 8),
+    ) {
+        let (engine, words) = build_bucket(slots, width, &lanes);
+        let bucket = engine.read_bucket(&words, 0);
+        prop_assert_eq!(engine.first_empty_slot(&bucket), scalar_find(&engine, &words, 0));
+        let scalar_len = (0..slots)
+            .filter(|&slot| engine.lane(&bucket, slot) != 0)
+            .count();
+        prop_assert_eq!(engine.bucket_len(&bucket), scalar_len);
+    }
+
+    /// The masked-field kernel (k-VCF's empty test) agrees with a scalar
+    /// masked compare for arbitrary field masks.
+    #[test]
+    fn find_field_matches_scalar(
+        width in 2u32..=32,
+        slots in 1usize..=8,
+        lanes in prop::collection::vec(any::<u64>(), 8),
+        pattern in any::<u64>(),
+        field in any::<u64>(),
+    ) {
+        let (engine, words) = build_bucket(slots, width, &lanes);
+        let field = {
+            let f = field & engine.lane_mask();
+            if f == 0 { 1 } else { f }
+        };
+        let pattern = pattern & field;
+        let bucket = engine.read_bucket(&words, 0);
+        let expected = (0..slots)
+            .find(|&slot| engine.lane(&bucket, slot) & field == pattern);
+        prop_assert_eq!(engine.find_field(&bucket, pattern, field), expected);
+    }
+
+    /// `set_slot` + kernels behave exactly like a `Vec<u64>` model: after
+    /// a random write sequence, every probe agrees lane-for-lane.
+    #[test]
+    fn table_state_matches_vec_model(
+        width in 2u32..=32,
+        slots in 1usize..=8,
+        ops in prop::collection::vec((0usize..8, 0u64..16), 1..60),
+    ) {
+        let engine = BucketEngine::new(slots, width).unwrap();
+        let mut words = vec![0u64; engine.storage_words(4)];
+        let mut model = vec![0u64; 4 * slots];
+        for (raw_slot, value) in ops {
+            let bucket = raw_slot % 4;
+            let slot = raw_slot % slots;
+            let value = value & engine.lane_mask();
+            engine.set_slot(&mut words, bucket, slot, value);
+            model[bucket * slots + slot] = value;
+        }
+        for bucket in 0..4 {
+            let loaded = engine.read_bucket(&words, bucket);
+            for slot in 0..slots {
+                prop_assert_eq!(engine.lane(&loaded, slot), model[bucket * slots + slot]);
+            }
+            let model_len = model[bucket * slots..(bucket + 1) * slots]
+                .iter()
+                .filter(|&&v| v != 0)
+                .count();
+            prop_assert_eq!(engine.bucket_len(&loaded), model_len);
+        }
+    }
+
+    /// FingerprintTable (SWAR-probed) behaves like a Vec-of-buckets model
+    /// under random insert/remove interleavings — byte-level state is
+    /// checked through `get`, answers through `contains`/`find`.
+    #[test]
+    fn fingerprint_table_matches_model(
+        fp_bits in 2u32..=32,
+        ops in prop::collection::vec((0u8..2, 0usize..8, 1u64..64), 1..120),
+    ) {
+        let slots = 4usize;
+        let mut table = FingerprintTable::new(8, slots, fp_bits).unwrap();
+        let mut model: Vec<Vec<u32>> = vec![vec![0; slots]; 8];
+        for (op, bucket, fp) in ops {
+            let fp = ((fp & ((1u64 << fp_bits) - 1)) as u32).max(1);
+            match op {
+                0 => {
+                    let slot = table.try_insert(bucket, fp);
+                    let model_slot = model[bucket].iter().position(|&v| v == 0);
+                    prop_assert_eq!(slot, model_slot, "insert diverged");
+                    if let Some(s) = model_slot {
+                        model[bucket][s] = fp;
+                    }
+                }
+                _ => {
+                    let removed = table.remove_one(bucket, fp);
+                    let model_slot = model[bucket].iter().position(|&v| v == fp);
+                    prop_assert_eq!(removed, model_slot.is_some(), "remove diverged");
+                    if let Some(s) = model_slot {
+                        model[bucket][s] = 0;
+                    }
+                }
+            }
+        }
+        for (bucket, model_bucket) in model.iter().enumerate() {
+            for (slot, &model_fp) in model_bucket.iter().enumerate() {
+                prop_assert_eq!(table.get(bucket, slot), model_fp);
+            }
+            for fp in 1u32..64 {
+                let fp = fp & (((1u64 << fp_bits) - 1) as u32);
+                if fp == 0 {
+                    continue;
+                }
+                prop_assert_eq!(
+                    table.contains(bucket, fp),
+                    model_bucket.contains(&fp),
+                    "contains diverged for fp {} in bucket {}",
+                    fp,
+                    bucket
+                );
+            }
+        }
+    }
+}

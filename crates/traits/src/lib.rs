@@ -159,6 +159,15 @@ pub trait Filter {
     /// negatives.
     fn contains(&self, item: &[u8]) -> bool;
 
+    /// Tests membership of many items at once, returning one answer per
+    /// item in order. Equivalent to calling [`contains`](Filter::contains)
+    /// on each item; table-backed implementations override this with a
+    /// two-pass probe (hash all candidate buckets first, then probe) so
+    /// bucket loads overlap instead of serialising on cache misses.
+    fn contains_batch(&self, items: &[&[u8]]) -> Vec<bool> {
+        items.iter().map(|item| self.contains(item)).collect()
+    }
+
     /// Removes one copy of `item`; returns `true` if a matching entry was
     /// found and removed.
     ///

@@ -130,6 +130,57 @@ fn len_tracks_oracle_under_interleaving() {
 }
 
 #[test]
+fn contains_batch_agrees_with_single_lookups() {
+    // The batched API is an optimisation, never a semantic change: for a
+    // mixed present/absent batch every filter must answer exactly as its
+    // one-at-a-time `contains` does, and leave the lookup counters with
+    // one recorded call per item.
+    for mut filter in deletable_filters() {
+        let name = filter.name();
+        let keys = KeyStream::new(23).take_vec(400);
+        let mut stored = Vec::new();
+        for key in &keys {
+            if filter.insert(key).is_ok() {
+                stored.push(key.clone());
+            }
+        }
+        let aliens = KeyStream::new(777).take_vec(200);
+        let mut batch: Vec<&[u8]> = Vec::new();
+        for (present, absent) in stored.iter().zip(aliens.iter()) {
+            batch.push(present);
+            batch.push(absent);
+        }
+        let singles: Vec<bool> = batch.iter().map(|item| filter.contains(item)).collect();
+        filter.reset_stats();
+        let batched = filter.contains_batch(&batch);
+        assert_eq!(batched, singles, "{name}: batch diverged from singles");
+        assert_eq!(
+            filter.stats().lookups.calls,
+            batch.len() as u64,
+            "{name}: batch must record one lookup per item"
+        );
+    }
+}
+
+#[test]
+fn contains_batch_handles_empty_and_duplicate_batches() {
+    for mut filter in deletable_filters() {
+        let name = filter.name();
+        assert!(
+            filter.contains_batch(&[]).is_empty(),
+            "{name}: empty batch must yield empty answers"
+        );
+        filter.insert(b"present").unwrap();
+        let batch: Vec<&[u8]> = vec![b"present", b"absent", b"present", b"present"];
+        assert_eq!(
+            filter.contains_batch(&batch),
+            vec![true, false, true, true],
+            "{name}: duplicates in a batch must answer independently"
+        );
+    }
+}
+
+#[test]
 fn bloom_filter_has_no_deletion_but_no_false_negatives() {
     use vertical_cuckoo_filters::baselines::BloomFilter;
     let mut bf = BloomFilter::new(BloomConfig::for_items(2000, 1e-3)).unwrap();
