@@ -1,0 +1,206 @@
+//! Multi-threaded throughput: insert, lookup and mixed churn, swept over
+//! 1–16 threads at 50%/75%/95% target load.
+//!
+//! Contenders (all driven through [`ConcurrentFilter`]):
+//!
+//! * `ConcurrentVCF`      — one lock-free table, CAS claims + two-bucket
+//!   relocation locks,
+//! * `ShardedConcurrentVCF[16]` — routing over 16 lock-free shards,
+//! * `ShardedVCF[1]`      — the single-`RwLock` baseline every scaling
+//!   claim is measured against (`shard_bits = 0`),
+//! * `ShardedVCF[16]`     — the PR-1 era coarse-lock design.
+//!
+//! Each iteration times one whole parallel phase: spawn the thread team,
+//! run every thread's disjoint slice of work, join. Thread spawn/join
+//! overhead (~tens of µs) is included identically for every contender,
+//! so relative numbers are meaningful; absolute ns/op at tiny thread
+//! counts slightly overstate cost. On a single-core host the sweep still
+//! runs (oversubscribed), but scaling curves are only meaningful with
+//! ≥ as many cores as threads.
+
+use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion, Throughput};
+use std::sync::Arc;
+use vcf_bench::bench_keys;
+use vcf_core::{ConcurrentVcf, CuckooConfig, ShardedConcurrentVcf, ShardedVcf};
+use vcf_traits::ConcurrentFilter;
+
+/// Total slots: 2^14 keeps one parallel phase in the low milliseconds so
+/// the full (workload × load × threads × filter) matrix stays tractable.
+const SLOTS_LOG2: u32 = 14;
+const THREAD_COUNTS: [usize; 5] = [1, 2, 4, 8, 16];
+const LOADS: [(u32, f64); 3] = [(50, 0.50), (75, 0.75), (95, 0.95)];
+const SHARD_BITS: u32 = 4;
+
+type DynFilter = Arc<dyn ConcurrentFilter>;
+/// A named contender: display label plus a fresh-filter constructor.
+type Contender = (&'static str, fn() -> DynFilter);
+
+fn config() -> CuckooConfig {
+    CuckooConfig::with_total_slots(1 << SLOTS_LOG2).with_seed(42)
+}
+
+/// `(label, constructor)` for every contender.
+fn contenders() -> Vec<Contender> {
+    vec![
+        ("ConcurrentVCF", || {
+            Arc::new(ConcurrentVcf::new(config()).unwrap())
+        }),
+        ("ShardedConcurrentVCF[16]", || {
+            Arc::new(ShardedConcurrentVcf::new(config(), SHARD_BITS).unwrap())
+        }),
+        ("ShardedVCF[1]", || {
+            Arc::new(ShardedVcf::new(config(), 0).unwrap())
+        }),
+        ("ShardedVCF[16]", || {
+            Arc::new(ShardedVcf::new(config(), SHARD_BITS).unwrap())
+        }),
+    ]
+}
+
+/// Splits `n` items into `threads` near-equal `(start, end)` ranges.
+fn slices(n: usize, threads: usize) -> Vec<(usize, usize)> {
+    (0..threads)
+        .map(|t| (n * t / threads, n * (t + 1) / threads))
+        .collect()
+}
+
+/// Runs `work(thread_index, start, end)` on `threads` spawned threads
+/// over disjoint slices of `n` items and joins them.
+fn run_team<W>(filter: &DynFilter, n: usize, threads: usize, keys: &Arc<Vec<Vec<u8>>>, work: W)
+where
+    W: Fn(&DynFilter, &[Vec<u8>], usize) + Send + Sync + Copy + 'static,
+{
+    let handles: Vec<_> = slices(n, threads)
+        .into_iter()
+        .enumerate()
+        .map(|(t, (start, end))| {
+            let filter = Arc::clone(filter);
+            let keys = Arc::clone(keys);
+            std::thread::spawn(move || work(&filter, &keys[start..end], t))
+        })
+        .collect();
+    for h in handles {
+        h.join().expect("bench worker panicked");
+    }
+}
+
+fn fill(filter: &DynFilter, keys: &[Vec<u8>]) {
+    for key in keys {
+        let _ = filter.insert(key);
+    }
+}
+
+/// Insert throughput: every iteration fills a *fresh* filter to the
+/// target load from `threads` writers.
+fn bench_insert(c: &mut Criterion) {
+    for (load_pct, load) in LOADS {
+        let n = ((1usize << SLOTS_LOG2) as f64 * load) as usize;
+        let keys = Arc::new(bench_keys(n, 7));
+        for threads in THREAD_COUNTS {
+            let mut g = c.benchmark_group(format!("concurrent/insert/load{load_pct}/t{threads}"));
+            g.throughput(Throughput::Elements(n as u64));
+            g.sample_size(10);
+            for (label, make) in contenders() {
+                let keys = Arc::clone(&keys);
+                g.bench_function(BenchmarkId::from_parameter(label), |b| {
+                    b.iter_batched(
+                        make,
+                        |filter| {
+                            run_team(&filter, n, threads, &keys, |f, slice, _| {
+                                for key in slice {
+                                    let _ = f.insert(key);
+                                }
+                            });
+                            filter
+                        },
+                        BatchSize::LargeInput,
+                    );
+                });
+            }
+            g.finish();
+        }
+    }
+}
+
+/// Lookup throughput: `threads` readers probe a pre-loaded filter, half
+/// positive, half alien.
+fn bench_lookup(c: &mut Criterion) {
+    for (load_pct, load) in LOADS {
+        let n = ((1usize << SLOTS_LOG2) as f64 * load) as usize;
+        let members = Arc::new(bench_keys(n, 7));
+        let mut probe_set = bench_keys(n / 2, 7);
+        probe_set.extend(bench_keys(n / 2, 0xa11e4));
+        let probes = Arc::new(probe_set);
+        let probe_count = probes.len();
+        for threads in THREAD_COUNTS {
+            let mut g = c.benchmark_group(format!("concurrent/lookup/load{load_pct}/t{threads}"));
+            g.throughput(Throughput::Elements(probe_count as u64));
+            g.sample_size(10);
+            for (label, make) in contenders() {
+                let filter = make();
+                fill(&filter, &members);
+                let probes = Arc::clone(&probes);
+                g.bench_function(BenchmarkId::from_parameter(label), |b| {
+                    b.iter(|| {
+                        run_team(&filter, probe_count, threads, &probes, |f, slice, _| {
+                            for key in slice {
+                                std::hint::black_box(f.contains(key));
+                            }
+                        });
+                    });
+                });
+            }
+            g.finish();
+        }
+    }
+}
+
+/// Mixed churn at steady-state load: each thread loops over its own
+/// slice doing lookup / delete+reinsert rounds (50% lookups, 25%
+/// deletes, 25% inserts), holding the load factor roughly constant.
+fn bench_mixed(c: &mut Criterion) {
+    for (load_pct, load) in LOADS {
+        let n = ((1usize << SLOTS_LOG2) as f64 * load) as usize;
+        let keys = Arc::new(bench_keys(n, 7));
+        for threads in THREAD_COUNTS {
+            let mut g = c.benchmark_group(format!("concurrent/mixed/load{load_pct}/t{threads}"));
+            g.throughput(Throughput::Elements(n as u64));
+            g.sample_size(10);
+            for (label, make) in contenders() {
+                let filter = make();
+                fill(&filter, &keys);
+                let keys = Arc::clone(&keys);
+                g.bench_function(BenchmarkId::from_parameter(label), |b| {
+                    b.iter(|| {
+                        run_team(&filter, n, threads, &keys, |f, slice, _| {
+                            for (i, key) in slice.iter().enumerate() {
+                                match i % 4 {
+                                    0 => {
+                                        // Delete-then-reinsert keeps the
+                                        // steady-state load unchanged.
+                                        if f.delete(key) {
+                                            let _ = f.insert(key);
+                                        }
+                                    }
+                                    _ => {
+                                        std::hint::black_box(f.contains(key));
+                                    }
+                                }
+                            }
+                        });
+                    });
+                });
+            }
+            g.finish();
+        }
+    }
+}
+
+fn benches(c: &mut Criterion) {
+    bench_insert(c);
+    bench_lookup(c);
+    bench_mixed(c);
+}
+
+criterion_group!(concurrent_throughput, benches);
+criterion_main!(concurrent_throughput);

@@ -51,6 +51,7 @@
 #![warn(missing_docs)]
 
 mod bitmask;
+mod concurrent;
 mod config;
 mod dvcf;
 mod dynamic;
@@ -61,11 +62,12 @@ mod vcf;
 mod vertical;
 
 pub use bitmask::MaskPair;
+pub use concurrent::ConcurrentVcf;
 pub use config::CuckooConfig;
 pub use dvcf::Dvcf;
 pub use dynamic::DynamicVcf;
 pub use kvcf::KVcf;
-pub use sharded::ShardedVcf;
+pub use sharded::{ShardRouter, ShardedConcurrentVcf, ShardedVcf};
 pub use snapshot::SnapshotError;
 pub use vcf::VerticalCuckooFilter;
 pub use vertical::{Candidates, VerticalParams};

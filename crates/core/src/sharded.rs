@@ -1,30 +1,51 @@
-//! A sharded, thread-safe wrapper over the Vertical Cuckoo Filter.
+//! Sharding as a *routing layer* over any concurrent filter.
 //!
 //! The paper motivates VCF with *online* applications; real deployments
 //! of those (caches, flow tables, dedup front-ends) are concurrent.
-//! `ShardedVcf` partitions the key space across `2^s` independent VCFs,
-//! each behind its own `RwLock`: lookups take shared locks, mutations
-//! exclusive ones, and unrelated keys almost never contend.
+//! [`ShardRouter`] partitions the key space across `2^s` independent
+//! sub-filters — anything implementing [`ConcurrentFilter`] — so that
+//! unrelated keys almost never contend:
 //!
-//! Section III-C also notes that more candidate buckets "significantly
+//! * [`ShardedVcf`] routes to sequential VCFs each behind an `RwLock`
+//!   (the original coarse-locking design, and the single-lock baseline
+//!   at `shard_bits = 0`),
+//! * [`ShardedConcurrentVcf`] routes to lock-free [`ConcurrentVcf`]
+//!   shards, stacking routing-level isolation on top of CAS-level
+//!   parallelism *within* each shard.
+//!
+//! Section III-C notes that more candidate buckets "significantly
 //! reduce" the endless-loop hazard concurrent cuckoo tables suffer from;
-//! sharding sidesteps the remaining intra-table races entirely by making
-//! each shard single-writer.
+//! sharding narrows any remaining contention to a `1/2^s` slice of the
+//! keyspace, whatever the per-shard concurrency story is.
 
+use crate::concurrent::ConcurrentVcf;
 use crate::config::CuckooConfig;
 use crate::vcf::VerticalCuckooFilter;
 use std::sync::RwLock;
 use vcf_hash::mix64;
-use vcf_traits::{BuildError, Filter, InsertError, Stats};
+use vcf_traits::{BuildError, ConcurrentFilter, Filter, InsertError, Stats};
 
 /// Salt decorrelating shard routing from in-shard bucket hashing.
 const SHARD_SALT: u64 = 0x5348_4152_4421; // "SHARD!"
 
-/// A thread-safe Vertical Cuckoo Filter composed of `2^shard_bits`
-/// independently locked shards.
+/// A keyspace router over `2^shard_bits` independent concurrent filters.
 ///
 /// All methods take `&self`; the structure is `Send + Sync` and can be
-/// shared across threads in an `Arc`.
+/// shared across threads in an `Arc`. The shard for an item is chosen
+/// from a remix of its full hash, using bits independent of the ones the
+/// shard's internal hashing consumes, so shard choice does not bias
+/// in-shard placement.
+#[derive(Debug)]
+pub struct ShardRouter<F> {
+    shards: Vec<F>,
+    shard_mask: u64,
+    label: String,
+}
+
+/// The classic sharded VCF: sequential filters behind one `RwLock` each.
+/// Lookups take shared locks, mutations exclusive ones. With
+/// `shard_bits = 0` this is the single-global-lock baseline the
+/// fine-grained [`ConcurrentVcf`] is benchmarked against.
 ///
 /// # Examples
 ///
@@ -50,22 +71,23 @@ const SHARD_SALT: u64 = 0x5348_4152_4421; // "SHARD!"
 /// assert!(filter.contains(b"2-99"));
 /// # Ok::<(), Box<dyn std::error::Error>>(())
 /// ```
-#[derive(Debug)]
-pub struct ShardedVcf {
-    shards: Vec<RwLock<VerticalCuckooFilter>>,
-    shard_mask: u64,
-}
+pub type ShardedVcf = ShardRouter<RwLock<VerticalCuckooFilter>>;
 
-impl ShardedVcf {
-    /// Builds a sharded filter. `config.buckets` is the **total** bucket
-    /// count, split evenly across `2^shard_bits` shards.
-    ///
-    /// # Errors
-    ///
-    /// Returns a [`BuildError`] when the per-shard geometry would be
-    /// degenerate (each shard needs at least 4 buckets) or the underlying
-    /// VCF construction fails.
-    pub fn new(config: CuckooConfig, shard_bits: u32) -> Result<Self, BuildError> {
+/// Lock-free shards behind the same router: each shard is a
+/// [`ConcurrentVcf`], so writers to the *same* shard still proceed in
+/// parallel on distinct buckets. Prefer this over [`ShardedVcf`] for
+/// write-heavy workloads; see the README concurrency table.
+pub type ShardedConcurrentVcf = ShardRouter<ConcurrentVcf>;
+
+impl<F> ShardRouter<F> {
+    /// Validates router geometry and splits `config` into per-shard
+    /// configs: `config.buckets` is the **total** bucket count, divided
+    /// evenly, and shard `i` gets seed `config.seed + i` so shards do not
+    /// mirror each other's eviction choices.
+    fn shard_configs(
+        config: CuckooConfig,
+        shard_bits: u32,
+    ) -> Result<impl Iterator<Item = CuckooConfig>, BuildError> {
         config.validate()?;
         let shard_count = 1usize << shard_bits;
         if shard_bits > 16 || config.buckets / shard_count < 4 {
@@ -80,19 +102,10 @@ impl ShardedVcf {
             buckets: config.buckets / shard_count,
             ..config
         };
-        let shards = (0..shard_count)
-            .map(|i| {
-                let shard_config = CuckooConfig {
-                    seed: config.seed.wrapping_add(i as u64),
-                    ..per_shard
-                };
-                VerticalCuckooFilter::new(shard_config).map(RwLock::new)
-            })
-            .collect::<Result<Vec<_>, _>>()?;
-        Ok(Self {
-            shards,
-            shard_mask: shard_count as u64 - 1,
-        })
+        Ok((0..shard_count).map(move |i| CuckooConfig {
+            seed: config.seed.wrapping_add(i as u64),
+            ..per_shard
+        }))
     }
 
     /// Number of shards.
@@ -100,16 +113,65 @@ impl ShardedVcf {
         self.shards.len()
     }
 
-    /// Routes a key to its shard. Uses bits independent of the ones the
-    /// shard's internal hashing consumes (a remix of the full hash), so
-    /// shard choice does not bias in-shard placement.
+    /// The shard filters, in routing order.
+    pub fn shards(&self) -> &[F] {
+        &self.shards
+    }
+
+    /// Routes a key to its shard index.
     #[inline]
     fn shard_of(&self, item: &[u8]) -> usize {
         let h = vcf_hash::fnv1a_64(item);
         (mix64(h ^ SHARD_SALT) & self.shard_mask) as usize
     }
+}
 
-    /// Inserts `item`.
+impl ShardedVcf {
+    /// Builds a sharded filter over locked sequential VCFs.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`BuildError`] when the per-shard geometry would be
+    /// degenerate (each shard needs at least 4 buckets) or the underlying
+    /// VCF construction fails.
+    pub fn new(config: CuckooConfig, shard_bits: u32) -> Result<Self, BuildError> {
+        let shards = Self::shard_configs(config, shard_bits)?
+            .map(|c| VerticalCuckooFilter::new(c).map(RwLock::new))
+            .collect::<Result<Vec<_>, _>>()?;
+        let shard_mask = shards.len() as u64 - 1;
+        let label = format!("ShardedVCF[{}]", shards.len());
+        Ok(Self {
+            shards,
+            shard_mask,
+            label,
+        })
+    }
+}
+
+impl ShardedConcurrentVcf {
+    /// Builds a sharded filter over lock-free [`ConcurrentVcf`] shards.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`BuildError`] when the per-shard geometry would be
+    /// degenerate or the per-shard lane layout would straddle a word
+    /// boundary (see [`ConcurrentVcf::new`]).
+    pub fn new(config: CuckooConfig, shard_bits: u32) -> Result<Self, BuildError> {
+        let shards = Self::shard_configs(config, shard_bits)?
+            .map(ConcurrentVcf::new)
+            .collect::<Result<Vec<_>, _>>()?;
+        let shard_mask = shards.len() as u64 - 1;
+        let label = format!("ShardedConcurrentVCF[{}]", shards.len());
+        Ok(Self {
+            shards,
+            shard_mask,
+            label,
+        })
+    }
+}
+
+impl<F: ConcurrentFilter> ShardRouter<F> {
+    /// Inserts `item` into its shard.
     ///
     /// # Errors
     ///
@@ -117,36 +179,29 @@ impl ShardedVcf {
     ///
     /// # Panics
     ///
-    /// Panics if a shard lock is poisoned (a writer thread panicked).
+    /// Panics if a locked shard's lock is poisoned.
     pub fn insert(&self, item: &[u8]) -> Result<(), InsertError> {
-        let shard = self.shard_of(item);
-        self.shards[shard]
-            .write()
-            .expect("shard lock poisoned")
-            .insert(item)
+        self.shards[self.shard_of(item)].insert(item)
     }
 
     /// Membership test.
     ///
     /// # Panics
     ///
-    /// Panics if a shard lock is poisoned.
+    /// Panics if a locked shard's lock is poisoned.
     pub fn contains(&self, item: &[u8]) -> bool {
-        let shard = self.shard_of(item);
-        self.shards[shard]
-            .read()
-            .expect("shard lock poisoned")
-            .contains(item)
+        self.shards[self.shard_of(item)].contains(item)
     }
 
     /// Batched membership test: routes the whole batch first, then visits
-    /// each shard **once** — one read-lock acquisition per touched shard
-    /// instead of one per item — and runs the shard's own batched probe
-    /// over its group. Answers come back in input order.
+    /// each shard **once** and runs the shard's own batched probe over
+    /// its group — one lock acquisition (or one cache-overlapped probe
+    /// pass) per touched shard instead of one per item. Answers come back
+    /// in input order.
     ///
     /// # Panics
     ///
-    /// Panics if a shard lock is poisoned.
+    /// Panics if a locked shard's lock is poisoned.
     pub fn contains_batch(&self, items: &[&[u8]]) -> Vec<bool> {
         // Pass 1: route every item; collect each shard's (input position,
         // item) group.
@@ -154,17 +209,14 @@ impl ShardedVcf {
         for (pos, item) in items.iter().enumerate() {
             groups[self.shard_of(item)].push(pos);
         }
-        // Pass 2: one lock + one batched probe per non-empty shard.
+        // Pass 2: one batched probe per non-empty shard.
         let mut out = vec![false; items.len()];
         for (shard, group) in groups.iter().enumerate() {
             if group.is_empty() {
                 continue;
             }
             let shard_items: Vec<&[u8]> = group.iter().map(|&pos| items[pos]).collect();
-            let answers = self.shards[shard]
-                .read()
-                .expect("shard lock poisoned")
-                .contains_batch(&shard_items);
+            let answers = self.shards[shard].contains_batch(&shard_items);
             for (&pos, answer) in group.iter().zip(answers) {
                 out[pos] = answer;
             }
@@ -176,22 +228,15 @@ impl ShardedVcf {
     ///
     /// # Panics
     ///
-    /// Panics if a shard lock is poisoned.
+    /// Panics if a locked shard's lock is poisoned.
     pub fn delete(&self, item: &[u8]) -> bool {
-        let shard = self.shard_of(item);
-        self.shards[shard]
-            .write()
-            .expect("shard lock poisoned")
-            .delete(item)
+        self.shards[self.shard_of(item)].delete(item)
     }
 
     /// Total stored entries across shards (a racy-but-consistent-enough
     /// aggregate under concurrent mutation).
     pub fn len(&self) -> usize {
-        self.shards
-            .iter()
-            .map(|s| s.read().expect("shard lock poisoned").len())
-            .sum()
+        self.shards.iter().map(ConcurrentFilter::len).sum()
     }
 
     /// Whether every shard is empty.
@@ -201,17 +246,14 @@ impl ShardedVcf {
 
     /// Total slot capacity across shards.
     pub fn capacity(&self) -> usize {
-        self.shards
-            .iter()
-            .map(|s| s.read().expect("shard lock poisoned").capacity())
-            .sum()
+        self.shards.iter().map(ConcurrentFilter::capacity).sum()
     }
 
     /// Aggregate operation statistics across shards.
     pub fn stats(&self) -> Stats {
         self.shards
             .iter()
-            .map(|s| s.read().expect("shard lock poisoned").stats())
+            .map(ConcurrentFilter::stats)
             .fold(Stats::default(), |acc, s| acc + s)
     }
 
@@ -224,49 +266,100 @@ impl ShardedVcf {
             self.len() as f64 / capacity as f64
         }
     }
-}
 
-/// `Filter`-trait adapter: the sharded filter's native API takes `&self`
-/// (interior locking); the trait's `&mut self` methods simply delegate, so
-/// `ShardedVcf` can participate in every generic harness and test that
-/// works over `dyn Filter`.
-impl Filter for ShardedVcf {
-    fn insert(&mut self, item: &[u8]) -> Result<(), InsertError> {
-        ShardedVcf::insert(self, item)
-    }
-
-    fn contains(&self, item: &[u8]) -> bool {
-        ShardedVcf::contains(self, item)
-    }
-
-    fn contains_batch(&self, items: &[&[u8]]) -> Vec<bool> {
-        ShardedVcf::contains_batch(self, items)
-    }
-
-    fn delete(&mut self, item: &[u8]) -> bool {
-        ShardedVcf::delete(self, item)
-    }
-
-    fn len(&self) -> usize {
-        ShardedVcf::len(self)
-    }
-
-    fn capacity(&self) -> usize {
-        ShardedVcf::capacity(self)
-    }
-
-    fn stats(&self) -> Stats {
-        ShardedVcf::stats(self)
-    }
-
-    fn reset_stats(&mut self) {
+    /// Resets every shard's operation counters.
+    pub fn reset_stats(&self) {
         for shard in &self.shards {
-            shard.write().expect("shard lock poisoned").reset_stats();
+            shard.reset_stats();
         }
     }
 
+    /// The router's display name, e.g. `ShardedVCF[4]`.
+    pub fn name(&self) -> String {
+        self.label.clone()
+    }
+}
+
+/// The router is itself a [`ConcurrentFilter`], so routers can nest and
+/// generic harnesses can treat `ShardedVcf`, `ShardedConcurrentVcf` and
+/// bare `ConcurrentVcf` uniformly.
+impl<F: ConcurrentFilter> ConcurrentFilter for ShardRouter<F> {
+    fn insert(&self, item: &[u8]) -> Result<(), InsertError> {
+        ShardRouter::insert(self, item)
+    }
+
+    fn contains(&self, item: &[u8]) -> bool {
+        ShardRouter::contains(self, item)
+    }
+
+    fn contains_batch(&self, items: &[&[u8]]) -> Vec<bool> {
+        ShardRouter::contains_batch(self, items)
+    }
+
+    fn delete(&self, item: &[u8]) -> bool {
+        ShardRouter::delete(self, item)
+    }
+
+    fn len(&self) -> usize {
+        ShardRouter::len(self)
+    }
+
+    fn capacity(&self) -> usize {
+        ShardRouter::capacity(self)
+    }
+
+    fn stats(&self) -> Stats {
+        ShardRouter::stats(self)
+    }
+
+    fn reset_stats(&self) {
+        ShardRouter::reset_stats(self);
+    }
+
     fn name(&self) -> String {
-        format!("ShardedVCF[{}]", self.shards.len())
+        ShardRouter::name(self)
+    }
+}
+
+/// `Filter`-trait adapter: the router's native API takes `&self`
+/// (interior locking); the trait's `&mut self` methods simply delegate,
+/// so sharded filters can participate in every generic harness and test
+/// that works over `dyn Filter`.
+impl<F: ConcurrentFilter> Filter for ShardRouter<F> {
+    fn insert(&mut self, item: &[u8]) -> Result<(), InsertError> {
+        ShardRouter::insert(self, item)
+    }
+
+    fn contains(&self, item: &[u8]) -> bool {
+        ShardRouter::contains(self, item)
+    }
+
+    fn contains_batch(&self, items: &[&[u8]]) -> Vec<bool> {
+        ShardRouter::contains_batch(self, items)
+    }
+
+    fn delete(&mut self, item: &[u8]) -> bool {
+        ShardRouter::delete(self, item)
+    }
+
+    fn len(&self) -> usize {
+        ShardRouter::len(self)
+    }
+
+    fn capacity(&self) -> usize {
+        ShardRouter::capacity(self)
+    }
+
+    fn stats(&self) -> Stats {
+        ShardRouter::stats(self)
+    }
+
+    fn reset_stats(&mut self) {
+        ShardRouter::reset_stats(self);
+    }
+
+    fn name(&self) -> String {
+        ShardRouter::name(self)
     }
 }
 
@@ -284,6 +377,8 @@ mod tests {
         assert!(ShardedVcf::new(CuckooConfig::new(16), 3).is_err()); // 2 buckets/shard
         assert!(ShardedVcf::new(CuckooConfig::new(1 << 8), 20).is_err());
         assert!(ShardedVcf::new(CuckooConfig::new(1 << 8), 3).is_ok());
+        assert!(ShardedConcurrentVcf::new(CuckooConfig::new(16), 3).is_err());
+        assert!(ShardedConcurrentVcf::new(CuckooConfig::new(1 << 8), 3).is_ok());
     }
 
     #[test]
@@ -306,15 +401,45 @@ mod tests {
     }
 
     #[test]
+    fn concurrent_shards_follow_same_contract() {
+        let f = ShardedConcurrentVcf::new(CuckooConfig::new(1 << 8).with_seed(1), 2).unwrap();
+        for i in 0..500 {
+            f.insert(&key(i)).unwrap();
+        }
+        for i in 0..500 {
+            assert!(f.contains(&key(i)), "item {i} lost");
+        }
+        assert_eq!(f.len(), 500);
+        for i in 0..250 {
+            assert!(f.delete(&key(i)));
+        }
+        assert_eq!(f.len(), 250);
+        assert_eq!(f.name(), "ShardedConcurrentVCF[4]");
+    }
+
+    #[test]
     fn shards_receive_balanced_load() {
         let f = ShardedVcf::new(CuckooConfig::new(1 << 8).with_seed(2), 2).unwrap();
         for i in 0..800 {
             f.insert(&key(i)).unwrap();
         }
-        for shard in &f.shards {
+        for shard in f.shards() {
             let len = shard.read().unwrap().len();
             // 800 keys over 4 shards: expect ~200 each; allow wide noise.
             assert!((120..=280).contains(&len), "unbalanced shard: {len}");
+        }
+    }
+
+    #[test]
+    fn routing_is_identical_across_shard_filter_types() {
+        // Both routers must send a given key to the same shard index:
+        // routing depends only on the key, never on the shard type.
+        let locked = ShardedVcf::new(CuckooConfig::new(1 << 8).with_seed(3), 2).unwrap();
+        let lockfree =
+            ShardedConcurrentVcf::new(CuckooConfig::new(1 << 8).with_seed(3), 2).unwrap();
+        for i in 0..200 {
+            let k = key(i);
+            assert_eq!(locked.shard_of(&k), lockfree.shard_of(&k));
         }
     }
 
@@ -404,5 +529,6 @@ mod tests {
     fn sharded_filter_is_send_sync() {
         fn assert_send_sync<T: Send + Sync>() {}
         assert_send_sync::<ShardedVcf>();
+        assert_send_sync::<ShardedConcurrentVcf>();
     }
 }

@@ -311,6 +311,23 @@ impl BucketEngine {
         None
     }
 
+    /// The `(word, shift)` coordinates of `slot` within its bucket: the
+    /// lane occupies bits `shift..shift + width` of the `word`-th `u64` of
+    /// the bucket. Returns `None` when the lane straddles two words — the
+    /// geometry the atomic engine rejects, because a straddling lane
+    /// cannot be updated with a single-word compare-and-swap.
+    pub fn slot_word_shift(&self, slot: usize) -> Option<(usize, u32)> {
+        debug_assert!(slot < self.slots, "slot {slot} out of range");
+        let seg = slot / self.lanes_per_seg;
+        let seg_shift = (slot % self.lanes_per_seg) as u32 * self.width;
+        let word_in_seg = (seg_shift / 64) as usize;
+        let shift = seg_shift % 64;
+        if shift + self.width > 64 {
+            return None;
+        }
+        Some((seg * self.words_per_seg + word_in_seg, shift))
+    }
+
     /// Extracts one lane from an already-loaded bucket.
     #[inline]
     pub fn lane(&self, bucket: &BucketWords, slot: usize) -> u64 {
@@ -394,6 +411,29 @@ mod tests {
                 // All slots are addressable.
                 assert!(e.segs * e.lanes_per_seg >= slots);
                 assert!(e.segs <= MAX_BUCKET_SEGMENTS);
+            }
+        }
+    }
+
+    #[test]
+    fn slot_word_shift_agrees_with_get_slot() {
+        for slots in 1..=8usize {
+            for width in 1..=63u32 {
+                let e = BucketEngine::new(slots, width).unwrap();
+                let mut words = vec![0u64; e.storage_words(3)];
+                for slot in 0..slots {
+                    let v = (0xa5a5_5a5a_u64.wrapping_mul(slot as u64 + 1)) & e.lane_mask();
+                    e.set_slot(&mut words, 2, slot, v);
+                    if let Some((word, shift)) = e.slot_word_shift(slot) {
+                        assert!(shift + width <= 64, "b={slots} w={width}");
+                        let raw = words[2 * e.words_per_bucket() + word];
+                        assert_eq!(
+                            (raw >> shift) & e.lane_mask(),
+                            v,
+                            "b={slots} w={width} slot={slot}"
+                        );
+                    }
+                }
             }
         }
     }

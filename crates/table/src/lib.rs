@@ -15,7 +15,11 @@
 //!   fingerprints (used by CF, DCF, VCF, IVCF, DVCF), probed through the
 //!   bucket engine,
 //! * [`MarkedTable`] — bucketed storage of `(fingerprint, mark)` pairs
-//!   (used by k-VCF), likewise engine-probed.
+//!   (used by k-VCF), likewise engine-probed,
+//! * [`AtomicBucketEngine`] / [`AtomicFingerprintTable`] — the lock-free
+//!   siblings: the same layout and kernels over `AtomicU64` words, with
+//!   CAS-based slot claim/replace for concurrent filters (`ConcurrentVcf`
+//!   in `vcf-core`).
 //!
 //! All tables use value `0` as the empty-slot sentinel, so the filter layer
 //! maps real fingerprints into `1..2^f` (the standard trick from the
@@ -37,11 +41,13 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod atomic_bucket;
 mod bucket;
 mod fingerprint;
 mod marked;
 mod packed;
 
+pub use atomic_bucket::{AtomicBucketEngine, AtomicFingerprintTable};
 pub use bucket::{BucketEngine, BucketWords, MAX_BUCKET_SEGMENTS, MAX_LANE_BITS};
 pub use fingerprint::FingerprintTable;
 pub use marked::{MarkedEntry, MarkedTable};

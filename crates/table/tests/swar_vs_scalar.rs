@@ -188,3 +188,96 @@ proptest! {
         }
     }
 }
+
+// ---------------------------------------------------------------------
+// Atomic engine differential: the lock-free table must be slot-for-slot
+// identical to the sequential one under any single-threaded op sequence.
+// ---------------------------------------------------------------------
+
+proptest! {
+    /// `AtomicFingerprintTable` (CAS claim / CAS replace) and
+    /// `FingerprintTable` (plain read-modify-write), driven by the same
+    /// single-threaded insert/remove sequence, end in bit-identical slot
+    /// states with identical occupancy — both pick the first empty slot
+    /// on insert and the first match on remove, so any divergence means
+    /// a lane-shift or CAS-retry bug in the atomic path. Geometries whose
+    /// lanes straddle a word boundary are rejected by the atomic
+    /// constructor and skipped.
+    #[test]
+    fn atomic_table_matches_sequential_table(
+        slots in 1usize..=8,
+        fp_bits in 2u32..=32,
+        ops in prop::collection::vec((0u8..2, 0usize..8, 1u64..0xffff_ffff), 1..150),
+    ) {
+        use vcf_table::AtomicFingerprintTable;
+
+        let buckets = 8usize;
+        let Ok(atomic) = AtomicFingerprintTable::new(buckets, slots, fp_bits) else {
+            // Straddling lane layout: not constructible atomically.
+            return Ok(());
+        };
+        let mut sequential = FingerprintTable::new(buckets, slots, fp_bits).unwrap();
+
+        for &(op, bucket, fp) in &ops {
+            let fp = ((fp & ((1u64 << fp_bits) - 1)) as u32).max(1);
+            match op {
+                0 => {
+                    let claimed = atomic.try_claim(bucket, fp);
+                    let inserted = sequential.try_insert(bucket, fp);
+                    prop_assert_eq!(claimed, inserted, "insert slot choice diverged");
+                }
+                _ => {
+                    let atomic_removed = atomic
+                        .find(bucket, fp)
+                        .map(|slot| atomic.replace_expect(bucket, slot, fp, 0))
+                        .unwrap_or(false);
+                    let sequential_removed = sequential.remove_one(bucket, fp);
+                    prop_assert_eq!(atomic_removed, sequential_removed, "remove diverged");
+                }
+            }
+        }
+
+        prop_assert_eq!(atomic.occupied(), sequential.occupied(), "occupancy diverged");
+        for bucket in 0..buckets {
+            for slot in 0..slots {
+                prop_assert_eq!(
+                    atomic.get(bucket, slot),
+                    sequential.get(bucket, slot),
+                    "slot ({}, {}) diverged", bucket, slot
+                );
+            }
+            prop_assert_eq!(
+                atomic.bucket_is_full(bucket),
+                sequential.bucket_is_full(bucket)
+            );
+        }
+    }
+
+    /// The atomic engine's SWAR probe (`contains`/`find` over
+    /// relaxed-loaded words) agrees with the sequential engine's on
+    /// identical contents, for every representable probe value.
+    #[test]
+    fn atomic_probes_match_sequential_probes(
+        slots in 1usize..=8,
+        fp_bits in 2u32..=16,
+        lanes in prop::collection::vec(1u64..0xffff, 8),
+    ) {
+        use vcf_table::AtomicFingerprintTable;
+
+        let Ok(atomic) = AtomicFingerprintTable::new(2, slots, fp_bits) else {
+            return Ok(());
+        };
+        let mut sequential = FingerprintTable::new(2, slots, fp_bits).unwrap();
+        for &lane in lanes.iter().take(slots) {
+            let fp = ((lane & ((1u64 << fp_bits) - 1)) as u32).max(1);
+            // Fill bucket 1 of both tables identically.
+            assert_eq!(atomic.try_claim(1, fp), sequential.try_insert(1, fp));
+        }
+        for probe in 1u32..128 {
+            let probe = (probe & (((1u64 << fp_bits) - 1) as u32)).max(1);
+            prop_assert_eq!(atomic.contains(1, probe), sequential.contains(1, probe));
+            prop_assert_eq!(atomic.find(1, probe), sequential.find(1, probe));
+            prop_assert_eq!(atomic.contains(0, probe), false, "empty bucket matched");
+        }
+    }
+}

@@ -32,10 +32,12 @@
 
 use core::fmt;
 
+mod concurrent;
 mod counters;
 mod ext;
 mod stats;
 
+pub use concurrent::ConcurrentFilter;
 pub use counters::Counters;
 pub use ext::FilterExt;
 pub use stats::{OpCounters, Stats};

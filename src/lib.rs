@@ -41,9 +41,12 @@ pub use vcf_workloads as workloads;
 /// The types most applications need, in one import.
 pub mod prelude {
     pub use vcf_baselines::CuckooFilter;
-    pub use vcf_core::{CuckooConfig, Dvcf, DynamicVcf, KVcf, ShardedVcf, VerticalCuckooFilter};
+    pub use vcf_core::{
+        ConcurrentVcf, CuckooConfig, Dvcf, DynamicVcf, KVcf, ShardedConcurrentVcf, ShardedVcf,
+        VerticalCuckooFilter,
+    };
     pub use vcf_hash::HashKind;
-    pub use vcf_traits::{BuildError, Filter, FilterExt, InsertError, Stats};
+    pub use vcf_traits::{BuildError, ConcurrentFilter, Filter, FilterExt, InsertError, Stats};
 }
 
 #[cfg(test)]

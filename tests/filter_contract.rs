@@ -9,7 +9,8 @@ use vertical_cuckoo_filters::baselines::{
 };
 use vertical_cuckoo_filters::traits::Filter;
 use vertical_cuckoo_filters::vcf::{
-    CuckooConfig, Dvcf, DynamicVcf, KVcf, ShardedVcf, VerticalCuckooFilter,
+    ConcurrentVcf, CuckooConfig, Dvcf, DynamicVcf, KVcf, ShardedConcurrentVcf, ShardedVcf,
+    VerticalCuckooFilter,
 };
 use vertical_cuckoo_filters::workloads::KeyStream;
 
@@ -31,6 +32,8 @@ fn deletable_filters() -> Vec<Box<dyn Filter>> {
         Box::new(QuotientFilter::new(11, 12).unwrap()),
         Box::new(DynamicVcf::new(CuckooConfig::new(1 << 6).with_seed(17)).unwrap()),
         Box::new(ShardedVcf::new(CuckooConfig::new(1 << 8).with_seed(17), 2).unwrap()),
+        Box::new(ConcurrentVcf::new(config()).unwrap()),
+        Box::new(ShardedConcurrentVcf::new(CuckooConfig::new(1 << 8).with_seed(17), 2).unwrap()),
         Box::new(AdaptiveCuckooFilter::new(CuckooConfig::new(1 << 8).with_seed(17)).unwrap()),
         Box::new(VacuumFilter::new(192, 64, 4, 14, 500, 17).unwrap()),
     ]

@@ -1,0 +1,129 @@
+//! False-positive-rate regression against the analytic model.
+//!
+//! Fills CF, VCF and `ConcurrentVcf` to ~95% load with 8-bit
+//! fingerprints, measures the empirical FPR over a large alien probe
+//! set, and pins it to within 2× of `vcf_analysis::fpr_upper_bound`
+//! (Equ. 10, with `r = 0` degenerating to the classic two-candidate CF
+//! bound). A silent fingerprint-width, masking or probe-set bug moves
+//! the empirical rate by integer factors, which this window catches —
+//! including on the atomic word path, where a lane-shift bug would
+//! match against the wrong bits.
+
+use vertical_cuckoo_filters::analysis::fpr_upper_bound;
+use vertical_cuckoo_filters::baselines::CuckooFilter;
+use vertical_cuckoo_filters::traits::Filter;
+use vertical_cuckoo_filters::vcf::{ConcurrentVcf, CuckooConfig, VerticalCuckooFilter};
+
+const ALIENS: u64 = 150_000;
+
+fn config() -> CuckooConfig {
+    CuckooConfig::new(1 << 12)
+        .with_fingerprint_bits(8)
+        .with_seed(42)
+}
+
+fn stored_key(i: u64) -> Vec<u8> {
+    format!("member-{i}").into_bytes()
+}
+
+fn alien_key(i: u64) -> Vec<u8> {
+    format!("alien-{i}").into_bytes()
+}
+
+/// Fills `filter` toward 95% load, measures the empirical FPR, and
+/// checks it against the model with the *measured* load factor.
+fn assert_fpr_tracks_model(filter: &mut dyn Filter, r: f64) {
+    let target = (filter.capacity() as f64 * 0.95).ceil() as u64;
+    let mut stored = 0u64;
+    let mut i = 0u64;
+    while stored < target {
+        if filter.insert(&stored_key(i)).is_ok() {
+            stored += 1;
+        }
+        i += 1;
+        assert!(
+            i < 2 * filter.capacity() as u64,
+            "{}: could not reach 95% load",
+            filter.name()
+        );
+    }
+    let alpha = stored as f64 / filter.capacity() as f64;
+    assert!(alpha >= 0.95, "{}: alpha only {alpha}", filter.name());
+
+    let mut false_positives = 0u64;
+    for a in 0..ALIENS {
+        if filter.contains(&alien_key(a)) {
+            false_positives += 1;
+        }
+    }
+    let empirical = false_positives as f64 / ALIENS as f64;
+    let bound = fpr_upper_bound(r, 4, alpha, 8);
+    assert!(
+        empirical < 2.0 * bound,
+        "{}: empirical FPR {empirical:.4} exceeds 2x model bound {bound:.4}",
+        filter.name()
+    );
+    // And not suspiciously low either: a filter quietly using wider
+    // fingerprints (or probing too few buckets) would undershoot the
+    // model by integer factors.
+    assert!(
+        empirical > bound / 4.0,
+        "{}: empirical FPR {empirical:.4} implausibly below model bound {bound:.4}",
+        filter.name()
+    );
+}
+
+#[test]
+fn cuckoo_filter_fpr_matches_two_candidate_model() {
+    // CF probes two candidate buckets: Equ. 10 with r = 0.
+    let mut cf = CuckooFilter::new(config()).unwrap();
+    assert_fpr_tracks_model(&mut cf, 0.0);
+}
+
+#[test]
+fn sequential_vcf_fpr_matches_model() {
+    let mut vcf = VerticalCuckooFilter::new(config()).unwrap();
+    let r = vcf.expected_r();
+    assert!(r > 0.5, "balanced 8-bit masks should give r near 0.88");
+    assert_fpr_tracks_model(&mut vcf, r);
+}
+
+#[test]
+fn concurrent_vcf_fpr_matches_model() {
+    let mut cvcf = ConcurrentVcf::new(config()).unwrap();
+    let r = cvcf.expected_r();
+    assert!(r > 0.5, "balanced 8-bit masks should give r near 0.88");
+    assert_fpr_tracks_model(&mut cvcf, r);
+}
+
+/// The two VCF paths are the same algorithm over different storage; at
+/// identical configuration their empirical FPRs must agree closely, not
+/// just both sit under the bound.
+#[test]
+fn concurrent_and_sequential_vcf_fpr_agree() {
+    let measure = |filter: &mut dyn Filter| {
+        let target = (filter.capacity() as f64 * 0.95) as u64;
+        let mut stored = 0u64;
+        let mut i = 0u64;
+        while stored < target {
+            if filter.insert(&stored_key(i)).is_ok() {
+                stored += 1;
+            }
+            i += 1;
+        }
+        let mut fp = 0u64;
+        for a in 0..ALIENS {
+            if filter.contains(&alien_key(a)) {
+                fp += 1;
+            }
+        }
+        fp as f64 / ALIENS as f64
+    };
+    let sequential = measure(&mut VerticalCuckooFilter::new(config()).unwrap());
+    let concurrent = measure(&mut ConcurrentVcf::new(config()).unwrap());
+    let ratio = sequential.max(concurrent) / sequential.min(concurrent).max(1e-9);
+    assert!(
+        ratio < 1.25,
+        "FPR diverged between storage paths: sequential {sequential:.4} vs concurrent {concurrent:.4}"
+    );
+}

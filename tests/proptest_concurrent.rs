@@ -1,0 +1,161 @@
+//! Property tests for the concurrent VCF path.
+//!
+//! Two families:
+//!
+//! 1. **Theorem 1 closure on the atomic path.** `ConcurrentVcf` derives
+//!    candidate buckets through the same [`VerticalParams`] machinery as
+//!    the sequential filter, but its *relocation* consumes them through
+//!    `alternates()` while racing other threads — so the properties pin
+//!    down, for random masks with `bm2 = !bm1` and random fingerprints,
+//!    that (a) both filters compute identical parameters and candidate
+//!    sets, and (b) the 4-bucket set is closed: from any member bucket,
+//!    `{bucket} ∪ alternates(bucket)` reproduces exactly the same set.
+//!    Closure is what lets a relocation hop stay inside the candidate
+//!    coset, which in turn is what makes the candidate-locked delete
+//!    exact.
+//!
+//! 2. **Single-threaded differential.** With one thread, `ConcurrentVcf`
+//!    must behave like any other AMQ filter: a random op soup checked
+//!    against a `HashMap` multiset oracle — no false negatives, exact
+//!    occupancy, multiset delete semantics — including on tiny tables
+//!    where every insert goes through the relocation path.
+
+use proptest::prelude::*;
+use std::collections::HashMap;
+use std::collections::HashSet;
+use vertical_cuckoo_filters::vcf::{ConcurrentVcf, CuckooConfig, MaskPair, VerticalCuckooFilter};
+
+proptest! {
+    /// The concurrent and sequential filters, built from the same config
+    /// and masks, derive bit-identical vertical parameters and candidate
+    /// sets for every fingerprint.
+    #[test]
+    fn atomic_path_candidates_match_sequential(
+        bm1_bits in 1u64..(1 << 14) - 1,
+        bucket_bits in 4u32..=10,
+        fingerprint in 1u32..(1 << 14),
+    ) {
+        let masks = MaskPair::from_bm1(bm1_bits, 14).unwrap();
+        let config = CuckooConfig::new(1 << bucket_bits).with_seed(7);
+        let concurrent =
+            ConcurrentVcf::with_masks(config, masks, "c".into()).unwrap();
+        let sequential =
+            VerticalCuckooFilter::with_masks(config, masks, "s".into()).unwrap();
+        prop_assert_eq!(concurrent.params(), sequential.params());
+        prop_assert_eq!(concurrent.masks(), sequential.masks());
+
+        let params = concurrent.params();
+        let hfp = concurrent.hash_kind().hash_fingerprint(fingerprint);
+        for b1 in [0usize, 1, (1 << bucket_bits) - 1] {
+            prop_assert_eq!(
+                params.candidates(b1, hfp).buckets,
+                sequential.params().candidates(b1, hfp).buckets
+            );
+        }
+    }
+
+    /// Theorem 1 closure, as the relocation path exercises it: for every
+    /// member `b` of a candidate set, `{b} ∪ alternates(b, h)` equals the
+    /// full candidate set. A relocation hop therefore never leaves the
+    /// coset, whatever bucket it starts from.
+    #[test]
+    fn candidate_set_is_closed_under_alternates(
+        bm1_bits in 1u64..(1 << 14) - 1,
+        bucket_bits in 4u32..=10,
+        fingerprint in 1u32..(1 << 14),
+        b1_seed in any::<u64>(),
+    ) {
+        let masks = MaskPair::from_bm1(bm1_bits, 14).unwrap();
+        let config = CuckooConfig::new(1 << bucket_bits).with_seed(7);
+        let filter = ConcurrentVcf::with_masks(config, masks, "c".into()).unwrap();
+        let params = filter.params();
+        let hfp = filter.hash_kind().hash_fingerprint(fingerprint);
+        let b1 = (b1_seed & params.index_mask()) as usize;
+
+        let cands = params.candidates(b1, hfp);
+        let set: HashSet<usize> = cands.buckets.iter().copied().collect();
+        for &member in &cands.buckets {
+            let mut reachable: HashSet<usize> =
+                params.alternates(member, hfp).into_iter().collect();
+            reachable.insert(member);
+            prop_assert_eq!(
+                &reachable, &set,
+                "candidate set not closed from member bucket {}", member
+            );
+        }
+    }
+
+    /// Single-threaded differential: a random op soup against a multiset
+    /// oracle. Tiny tables force the relocation path on nearly every
+    /// insert, so the path-based kick walk gets exercised without any
+    /// concurrency nondeterminism.
+    #[test]
+    fn single_threaded_differential_vs_oracle(
+        bucket_bits in 4u32..=8,
+        seed in any::<u64>(),
+        ops in prop::collection::vec((0u8..3, 0u16..600), 1..400),
+    ) {
+        let filter =
+            ConcurrentVcf::new(CuckooConfig::new(1 << bucket_bits).with_seed(seed)).unwrap();
+        // Multiset oracle: key -> live copy count.
+        let mut oracle: HashMap<u16, u32> = HashMap::new();
+        let mut net = 0i64;
+        for &(op, k) in &ops {
+            let key = k.to_le_bytes();
+            match op {
+                0 => {
+                    if filter.insert(&key).is_ok() {
+                        *oracle.entry(k).or_insert(0) += 1;
+                        net += 1;
+                        prop_assert!(
+                            filter.contains(&key),
+                            "inserted key {} invisible", k
+                        );
+                    }
+                }
+                1 => {
+                    // Only delete keys the oracle says are live: a copy
+                    // removed this way is interchangeable (same
+                    // fingerprint and, by Theorem 1, same candidate
+                    // coset), so per-class copy counts — and therefore
+                    // every live key's visibility — stay exact. Deleting
+                    // a non-live key is skipped because a fingerprint
+                    // alias could make it spuriously succeed and
+                    // invalidate the per-key oracle.
+                    if oracle.get(&k).copied().unwrap_or(0) > 0 {
+                        prop_assert!(
+                            filter.delete(&key),
+                            "live key {} failed to delete", k
+                        );
+                        *oracle.get_mut(&k).unwrap() -= 1;
+                        net -= 1;
+                    }
+                }
+                _ => {
+                    if oracle.get(&k).copied().unwrap_or(0) > 0 {
+                        prop_assert!(filter.contains(&key), "false negative on {}", k);
+                    }
+                }
+            }
+        }
+        prop_assert_eq!(filter.len() as i64, net, "occupancy drifted");
+    }
+}
+
+/// Deterministic replay: the same seed and single-threaded op order give
+/// identical results run-to-run (the per-walk PRNG derivation is a
+/// deterministic counter when uncontended).
+#[test]
+fn single_threaded_runs_are_deterministic() {
+    let run = || {
+        let filter = ConcurrentVcf::new(CuckooConfig::new(1 << 6).with_seed(99)).unwrap();
+        let mut stored = 0u32;
+        for i in 0..400u32 {
+            if filter.insert(&i.to_le_bytes()).is_ok() {
+                stored += 1;
+            }
+        }
+        (stored, filter.len(), filter.stats().kicks)
+    };
+    assert_eq!(run(), run());
+}
