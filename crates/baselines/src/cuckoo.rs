@@ -3,7 +3,7 @@
 
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
-use vcf_core::CuckooConfig;
+use vcf_core::{CuckooConfig, EvictionPolicy};
 use vcf_hash::HashKind;
 use vcf_table::FingerprintTable;
 use vcf_traits::{BuildError, Counters, Filter, InsertError, Stats};
@@ -42,6 +42,7 @@ pub struct CuckooFilter {
     table: FingerprintTable,
     hash: HashKind,
     max_kicks: u32,
+    eviction: EvictionPolicy,
     index_mask: u64,
     rng: SmallRng,
     /// Undo log for the current eviction walk, replayed in reverse when
@@ -68,6 +69,7 @@ impl CuckooFilter {
             table,
             hash: config.hash,
             max_kicks: config.max_kicks,
+            eviction: config.eviction,
             index_mask: config.buckets as u64 - 1,
             rng: SmallRng::seed_from_u64(config.seed),
             undo: Vec::new(),
@@ -110,20 +112,36 @@ impl CuckooFilter {
     fn alternate(&self, bucket: usize, fingerprint: u32) -> usize {
         bucket ^ (self.hash.hash_fingerprint(fingerprint) & self.index_mask) as usize
     }
-}
 
-impl Filter for CuckooFilter {
-    fn insert(&mut self, item: &[u8]) -> Result<(), InsertError> {
-        let (fingerprint, b1) = self.key_of(item);
-        self.counters.add_hashes(2); // hash(x) + hash(η)
-        let b2 = self.alternate(b1, fingerprint);
+    /// Places an already-hashed item under the configured policy.
+    fn insert_prehashed(
+        &mut self,
+        fingerprint: u32,
+        b1: usize,
+        b2: usize,
+    ) -> Result<(), InsertError> {
+        match self.eviction {
+            EvictionPolicy::RandomWalk => self.insert_random_walk(fingerprint, b1, b2),
+            EvictionPolicy::Bfs => self.insert_bfs(fingerprint, b1, b2),
+        }
+    }
+
+    /// Fan et al.'s random-walk relocation, with rollback-on-failure and
+    /// bucket accesses counted as they happen.
+    fn insert_random_walk(
+        &mut self,
+        fingerprint: u32,
+        b1: usize,
+        b2: usize,
+    ) -> Result<(), InsertError> {
         let slots = self.table.slots_per_bucket();
-
         let mut probes = 0u64;
+        let mut accesses = 0u64;
         for bucket in [b1, b2] {
             probes += slots as u64;
+            accesses += 1;
             if self.table.try_insert(bucket, fingerprint).is_some() {
-                self.counters.record_insert(probes, 2);
+                self.counters.record_insert(probes, accesses);
                 return Ok(());
             }
         }
@@ -135,6 +153,7 @@ impl Filter for CuckooFilter {
         for _ in 0..self.max_kicks {
             let slot = self.rng.gen_range(0..slots);
             let victim = self.table.swap(current_bucket, slot, current_fp);
+            accesses += 1;
             self.undo.push((current_bucket, slot, victim));
             current_fp = victim;
             kicks += 1;
@@ -144,9 +163,10 @@ impl Filter for CuckooFilter {
             self.counters.add_hashes(1);
             current_bucket = self.alternate(current_bucket, current_fp);
             probes += slots as u64;
+            accesses += 1;
             if self.table.try_insert(current_bucket, current_fp).is_some() {
                 self.counters.add_kicks(kicks);
-                self.counters.record_insert(probes, 2 + kicks);
+                self.counters.record_insert(probes, accesses);
                 return Ok(());
             }
         }
@@ -156,9 +176,103 @@ impl Filter for CuckooFilter {
         }
         self.undo.clear();
         self.counters.add_kicks(kicks);
-        self.counters.record_insert(probes, 2 + kicks);
+        self.counters.record_insert(probes, accesses);
         self.counters.add_failed_insert();
         Err(InsertError::Full { kicks })
+    }
+
+    /// BFS eviction (Eppstein's simplification): branching factor 1 per
+    /// resident — each fingerprint has a single alternate — so the search
+    /// tree is the same graph the random walk samples, explored level by
+    /// level. Writes happen only once a complete path is known, so no
+    /// undo log is needed.
+    fn insert_bfs(&mut self, fingerprint: u32, b1: usize, b2: usize) -> Result<(), InsertError> {
+        use core::cell::Cell;
+
+        let slots = self.table.slots_per_bucket();
+        let probes = Cell::new(0u64);
+        let accesses = Cell::new(0u64);
+        let max_nodes = if self.max_kicks == 0 {
+            0
+        } else {
+            (self.max_kicks as usize).max(8)
+        };
+
+        let table = &self.table;
+        let hash = self.hash;
+        let index_mask = self.index_mask;
+        let counters = &self.counters;
+        let path = vcf_core::evict::search(
+            [b1, b2].into_iter().map(|b| (b, fingerprint)),
+            max_nodes,
+            |bucket| {
+                probes.set(probes.get() + slots as u64);
+                accesses.set(accesses.get() + 1);
+                table.first_empty_slot(bucket)
+            },
+            |bucket, out| {
+                accesses.set(accesses.get() + 1);
+                for slot in 0..slots {
+                    let resident = table.get(bucket, slot);
+                    let alt = bucket ^ (hash.hash_fingerprint(resident) & index_mask) as usize;
+                    counters.add_hashes(1);
+                    out.push((slot, alt, resident));
+                }
+            },
+        );
+
+        let Some(path) = path else {
+            self.counters.record_insert(probes.get(), accesses.get());
+            self.counters.add_failed_insert();
+            return Err(InsertError::Full { kicks: 0 });
+        };
+
+        let kicks = path.kicks();
+        let mut dest = path.empty_slot;
+        for step in path.steps[1..].iter().rev() {
+            self.table.set(step.bucket, dest, step.value);
+            dest = step.slot_in_parent;
+        }
+        self.table.set(path.steps[0].bucket, dest, fingerprint);
+        self.counters.add_kicks(kicks);
+        self.counters
+            .record_insert(probes.get(), accesses.get() + kicks + 1);
+        Ok(())
+    }
+}
+
+impl Filter for CuckooFilter {
+    fn insert(&mut self, item: &[u8]) -> Result<(), InsertError> {
+        let (fingerprint, b1) = self.key_of(item);
+        self.counters.add_hashes(2); // hash(x) + hash(η)
+        let b2 = self.alternate(b1, fingerprint);
+        self.insert_prehashed(fingerprint, b1, b2)
+    }
+
+    /// Pipelined insertion: derives `(fingerprint, B1, B2)` and
+    /// prefetches both buckets for a window of items first, then places
+    /// in item order through the same path as serial
+    /// [`insert`](Self::insert) (identical PRNG consumption, so batch ≡
+    /// serial exactly).
+    fn insert_batch(&mut self, items: &[&[u8]]) -> Vec<Result<(), InsertError>> {
+        const WINDOW: usize = 16;
+        let mut out = Vec::with_capacity(items.len());
+        let mut window = Vec::with_capacity(WINDOW);
+        for chunk in items.chunks(WINDOW) {
+            window.clear();
+            for item in chunk {
+                let (fingerprint, b1) = self.key_of(item);
+                self.counters.add_hashes(2);
+                let b2 = self.alternate(b1, fingerprint);
+                self.table.prefetch_bucket(b1);
+                self.table.prefetch_bucket(b2);
+                window.push((fingerprint, b1, b2));
+            }
+            for &(fingerprint, b1, b2) in &window {
+                out.push(self.insert_prehashed(fingerprint, b1, b2));
+            }
+        }
+        out
     }
 
     fn contains(&self, item: &[u8]) -> bool {
@@ -349,5 +463,81 @@ mod tests {
     fn name_is_cf() {
         let cf = CuckooFilter::new(CuckooConfig::new(8)).unwrap();
         assert_eq!(cf.name(), "CF");
+    }
+
+    #[test]
+    fn insert_batch_matches_serial_exactly() {
+        let config = CuckooConfig::new(1 << 8).with_seed(9);
+        let mut serial = CuckooFilter::new(config).unwrap();
+        let mut batched = CuckooFilter::new(config).unwrap();
+
+        let keys: Vec<Vec<u8>> = (0..1000).map(key).collect();
+        let refs: Vec<&[u8]> = keys.iter().map(Vec::as_slice).collect();
+
+        let serial_results: Vec<_> = refs.iter().map(|k| serial.insert(k)).collect();
+        let batch_results = batched.insert_batch(&refs);
+
+        assert_eq!(serial_results, batch_results);
+        assert_eq!(serial.len(), batched.len());
+        assert_eq!(serial.stats().kicks, batched.stats().kicks);
+        for bucket in 0..serial.table.buckets() {
+            for slot in 0..serial.table.slots_per_bucket() {
+                assert_eq!(
+                    serial.table.get(bucket, slot),
+                    batched.table.get(bucket, slot),
+                    "tables diverge at ({bucket}, {slot})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn bfs_policy_preserves_membership_at_high_load() {
+        let mut cf = CuckooFilter::new(
+            CuckooConfig::new(1 << 8)
+                .with_seed(3)
+                .with_eviction_policy(EvictionPolicy::Bfs),
+        )
+        .unwrap();
+        let mut acknowledged = Vec::new();
+        for i in 0..1100u64 {
+            if cf.insert(&key(i)).is_ok() {
+                acknowledged.push(i);
+            }
+        }
+        assert!(
+            cf.load_factor() > 0.90,
+            "BFS should fill CF well past 90%, got {}",
+            cf.load_factor()
+        );
+        for &i in &acknowledged {
+            assert!(cf.contains(&key(i)), "item {i} lost under BFS eviction");
+        }
+    }
+
+    #[test]
+    fn bfs_failed_insert_writes_nothing() {
+        let mut cf = CuckooFilter::new(
+            CuckooConfig::new(4)
+                .with_seed(5)
+                .with_eviction_policy(EvictionPolicy::Bfs),
+        )
+        .unwrap();
+        let mut i = 0u64;
+        while cf.insert(&key(i)).is_ok() {
+            i += 1;
+            assert!(i < 100, "a 4-bucket table must fill up");
+        }
+        let before: Vec<u32> = (0..cf.table.buckets())
+            .flat_map(|b| (0..cf.table.slots_per_bucket()).map(move |s| (b, s)))
+            .map(|(b, s)| cf.table.get(b, s))
+            .collect();
+        // BFS is deterministic: the key that just failed fails again.
+        assert!(cf.insert(&key(i)).is_err());
+        let after: Vec<u32> = (0..cf.table.buckets())
+            .flat_map(|b| (0..cf.table.slots_per_bucket()).map(move |s| (b, s)))
+            .map(|(b, s)| cf.table.get(b, s))
+            .collect();
+        assert_eq!(before, after, "failed BFS insert must not mutate the table");
     }
 }

@@ -9,7 +9,7 @@
 use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion};
 use vcf_baselines::{CuckooFilter, DaryCuckooFilter};
 use vcf_bench::BENCH_SLOTS_LOG2;
-use vcf_core::{CuckooConfig, Dvcf, VerticalCuckooFilter};
+use vcf_core::{CuckooConfig, Dvcf, EvictionPolicy, VerticalCuckooFilter};
 use vcf_traits::Filter;
 use vcf_workloads::{ChurnConfig, ChurnTrace, Op};
 
@@ -38,6 +38,16 @@ fn replay<F: Filter>(filter: &mut F, trace: &ChurnTrace) -> usize {
 }
 
 fn bench_churn<F: Filter + Clone>(c: &mut Criterion, label: &str, base: F, trace: &ChurnTrace) {
+    bench_churn_group(c, "churn/steady_state", label, base, trace);
+}
+
+fn bench_churn_group<F: Filter + Clone>(
+    c: &mut Criterion,
+    group: &str,
+    label: &str,
+    base: F,
+    trace: &ChurnTrace,
+) {
     // Pre-fill with the trace warm-up once; each iteration replays only
     // the churn rounds against a clone.
     let warmup = trace.config().working_set;
@@ -50,7 +60,7 @@ fn bench_churn<F: Filter + Clone>(c: &mut Criterion, label: &str, base: F, trace
     let churn_ops = &trace.ops()[warmup..];
     let rounds = trace.config().rounds;
 
-    let mut g = c.benchmark_group("churn/steady_state");
+    let mut g = c.benchmark_group(group);
     g.throughput(criterion::Throughput::Elements(churn_ops.len() as u64));
     g.bench_function(BenchmarkId::from_parameter(label), |b| {
         b.iter_batched(
@@ -101,6 +111,31 @@ fn churn_benches(c: &mut Criterion) {
         "DCF",
         DaryCuckooFilter::new(config(), 4).unwrap(),
         &trace,
+    );
+
+    // The insertion-intensive regime the BFS policy targets: churn at
+    // 95 % occupancy, random walk vs. breadth-first eviction on the
+    // same trace (Fig. 8's territory).
+    let trace95 = ChurnTrace::generate(ChurnConfig {
+        working_set: slots * 95 / 100,
+        rounds: 4096,
+        lookups_per_round: 2,
+        positive_fraction: 0.5,
+        seed: 0xc4,
+    });
+    bench_churn_group(
+        c,
+        "churn/load95",
+        "VCF",
+        VerticalCuckooFilter::new(config()).unwrap(),
+        &trace95,
+    );
+    bench_churn_group(
+        c,
+        "churn/load95",
+        "VCF_bfs",
+        VerticalCuckooFilter::new(config().with_eviction_policy(EvictionPolicy::Bfs)).unwrap(),
+        &trace95,
     );
 
     // Sanity outside timing: replay must produce every expected positive.

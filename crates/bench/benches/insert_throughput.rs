@@ -1,17 +1,24 @@
 //! Per-insert cost across the filter family (Table III "IT", Fig. 7).
 //!
-//! Two regimes per filter: a fill from empty to 50 % (cheap, few kicks)
-//! and a fill from empty to 95 % (the insertion-intensive regime where
-//! VCF's extra candidates pay off).
+//! Three fill regimes per filter — 50 % (cheap, few kicks), 75 %, and
+//! 95 % (the insertion-intensive regime where VCF's extra candidates pay
+//! off) — plus an `insert/batch` group that pits the pipelined
+//! [`Filter::insert_batch`] path (hash + prefetch a window up front)
+//! against the plain serial loop on the same key set. `VCF_bfs` rows run
+//! the same fill under [`EvictionPolicy::Bfs`].
 
 use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion};
 use vcf_baselines::{BloomConfig, BloomFilter, CuckooFilter, DaryCuckooFilter};
-use vcf_bench::{bench_keys, BENCH_SLOTS_LOG2};
-use vcf_core::{CuckooConfig, Dvcf, VerticalCuckooFilter};
+use vcf_bench::{bench_keys, BATCH_SLOTS_LOG2, BENCH_SLOTS_LOG2};
+use vcf_core::{CuckooConfig, Dvcf, EvictionPolicy, KVcf, VerticalCuckooFilter};
 use vcf_traits::Filter;
 
 fn config() -> CuckooConfig {
     CuckooConfig::with_total_slots(1 << BENCH_SLOTS_LOG2).with_seed(42)
+}
+
+fn bfs_config() -> CuckooConfig {
+    config().with_eviction_policy(EvictionPolicy::Bfs)
 }
 
 fn bench_fill<F: Filter>(
@@ -41,13 +48,57 @@ fn bench_fill<F: Filter>(
     g.finish();
 }
 
+/// Pipelined batch insert vs. the serial loop, same keys, same filter.
+/// The `_loop` rows are the baseline the prefetching path must beat.
+/// Runs on a [`BATCH_SLOTS_LOG2`] table (larger than LLC) at 50 % fill:
+/// memory-bound direct placements, where hiding DRAM latency is the
+/// whole game.
+fn bench_batch<F: Filter>(c: &mut Criterion, label: &str, fraction: f64, make: impl Fn() -> F) {
+    let slots = 1usize << BATCH_SLOTS_LOG2;
+    let n = (slots as f64 * fraction) as usize;
+    let keys = bench_keys(n, 7);
+    let refs: Vec<&[u8]> = keys.iter().map(Vec::as_slice).collect();
+    let mut g = c.benchmark_group("insert/batch");
+    g.throughput(criterion::Throughput::Elements(n as u64));
+    g.bench_function(BenchmarkId::from_parameter(label), |b| {
+        b.iter_batched(
+            &make,
+            |mut filter| {
+                std::hint::black_box(filter.insert_batch(&refs));
+                filter
+            },
+            BatchSize::LargeInput,
+        );
+    });
+    g.bench_function(BenchmarkId::from_parameter(format!("{label}_loop")), |b| {
+        b.iter_batched(
+            &make,
+            |mut filter| {
+                for key in &refs {
+                    let _ = filter.insert(key);
+                }
+                filter
+            },
+            BatchSize::LargeInput,
+        );
+    });
+    g.finish();
+}
+
 fn insert_benches(c: &mut Criterion) {
-    for &(group, fraction) in &[("insert/fill50", 0.5), ("insert/fill95", 0.95)] {
+    for &(group, fraction) in &[
+        ("insert/fill50", 0.5),
+        ("insert/fill75", 0.75),
+        ("insert/fill95", 0.95),
+    ] {
         bench_fill(c, group, "CF", fraction, || {
             CuckooFilter::new(config()).unwrap()
         });
         bench_fill(c, group, "VCF", fraction, || {
             VerticalCuckooFilter::new(config()).unwrap()
+        });
+        bench_fill(c, group, "VCF_bfs", fraction, || {
+            VerticalCuckooFilter::new(bfs_config()).unwrap()
         });
         bench_fill(c, group, "IVCF3", fraction, || {
             VerticalCuckooFilter::with_mask_ones(config(), 3).unwrap()
@@ -62,6 +113,20 @@ fn insert_benches(c: &mut Criterion) {
             BloomFilter::new(BloomConfig::for_items(1 << BENCH_SLOTS_LOG2, 5e-4)).unwrap()
         });
     }
+
+    let batch_config = || CuckooConfig::with_total_slots(1 << BATCH_SLOTS_LOG2).with_seed(42);
+    bench_batch(c, "CF", 0.5, move || {
+        CuckooFilter::new(batch_config()).unwrap()
+    });
+    bench_batch(c, "VCF", 0.5, move || {
+        VerticalCuckooFilter::new(batch_config()).unwrap()
+    });
+    bench_batch(c, "DVCF_r0.5", 0.5, move || {
+        Dvcf::with_r(batch_config(), 0.5).unwrap()
+    });
+    bench_batch(c, "KVCF_k4", 0.5, move || {
+        KVcf::new(batch_config(), 4).unwrap()
+    });
 }
 
 criterion_group! {

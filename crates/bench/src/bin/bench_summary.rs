@@ -1,0 +1,103 @@
+//! Turns benchmark harness output into a committable JSON summary.
+//!
+//! Usage:
+//!
+//! ```text
+//! cargo bench -p vcf-bench --bench insert_throughput | \
+//!     cargo run -p vcf-bench --bin bench_summary -- --out BENCH_insert.json
+//! ```
+//!
+//! Reads harness output from stdin (or from files given as positional
+//! arguments), keeps lines whose benchmark id starts with one of the
+//! `--prefix` filters (default: `insert/`), and writes the id → median-ns
+//! map as sorted JSON to `--out` (default: stdout).
+
+use std::io::Read;
+use std::process::ExitCode;
+
+use vcf_bench::summary::{parse_report, to_json};
+
+fn main() -> ExitCode {
+    let mut prefixes: Vec<String> = Vec::new();
+    let mut out_path: Option<String> = None;
+    let mut inputs: Vec<String> = Vec::new();
+
+    let mut argv = std::env::args().skip(1);
+    while let Some(arg) = argv.next() {
+        match arg.as_str() {
+            "--prefix" => match argv.next() {
+                Some(p) => prefixes.push(p),
+                None => return usage("--prefix needs a value"),
+            },
+            "--out" => match argv.next() {
+                Some(p) => out_path = Some(p),
+                None => return usage("--out needs a value"),
+            },
+            "--help" | "-h" => return usage(""),
+            _ if arg.starts_with('-') => return usage(&format!("unknown flag {arg}")),
+            _ => inputs.push(arg),
+        }
+    }
+    if prefixes.is_empty() {
+        prefixes.push("insert/".to_owned());
+    }
+
+    let mut raw = String::new();
+    if inputs.is_empty() {
+        if let Err(err) = std::io::stdin().read_to_string(&mut raw) {
+            eprintln!("bench_summary: reading stdin: {err}");
+            return ExitCode::FAILURE;
+        }
+    } else {
+        for path in &inputs {
+            match std::fs::read_to_string(path) {
+                Ok(text) => raw.push_str(&text),
+                Err(err) => {
+                    eprintln!("bench_summary: reading {path}: {err}");
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+    }
+
+    let results: Vec<_> = parse_report(&raw)
+        .into_iter()
+        .filter(|line| prefixes.iter().any(|p| line.id.starts_with(p.as_str())))
+        .collect();
+    if results.is_empty() {
+        eprintln!(
+            "bench_summary: no benchmark lines matched prefixes {prefixes:?}; \
+             was the harness output piped in?"
+        );
+        return ExitCode::FAILURE;
+    }
+
+    let json = to_json(&results);
+    match out_path {
+        Some(path) => {
+            if let Err(err) = std::fs::write(&path, json) {
+                eprintln!("bench_summary: writing {path}: {err}");
+                return ExitCode::FAILURE;
+            }
+            eprintln!("bench_summary: wrote {} entries to {path}", results.len());
+        }
+        None => print!("{json}"),
+    }
+    ExitCode::SUCCESS
+}
+
+fn usage(problem: &str) -> ExitCode {
+    if !problem.is_empty() {
+        eprintln!("bench_summary: {problem}");
+    }
+    eprintln!(
+        "usage: bench_summary [--prefix <id-prefix>]... [--out <file>] [input-file]...\n\
+         Reads benchmark harness output (stdin by default) and writes an\n\
+         id -> median-ns JSON map. Default prefix filter: insert/"
+    );
+    if problem.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

@@ -13,8 +13,13 @@
 //! * `eviction_cost`    — Fig. 8's kick cascades near full load.
 //! * `kvcf_scaling`     — Table V's k sweep.
 //! * `churn_online`     — the paper's motivating online insert/delete mix.
+//!
+//! The [`summary`] module (and its `bench_summary` binary) condenses the
+//! harness's report lines into the committed `BENCH_insert.json`.
 
 #![forbid(unsafe_code)]
+
+pub mod summary;
 
 use vcf_workloads::KeyStream;
 
@@ -30,6 +35,12 @@ pub fn bench_keys(n: usize, seed: u64) -> Vec<Vec<u8>> {
 /// Fill fraction used for "loaded filter" benches (high enough that
 /// cuckoo relocations matter, low enough that every insert succeeds).
 pub const LOADED_FRACTION: f64 = 0.90;
+
+/// Table size for the `insert/batch` group: `2^23` slots (~12 MB of
+/// fingerprints) so bucket reads miss the last-level cache — the regime
+/// software prefetching targets. At [`BENCH_SLOTS_LOG2`] the whole
+/// table is cache-resident and prefetch hints cannot help.
+pub const BATCH_SLOTS_LOG2: u32 = 23;
 
 #[cfg(test)]
 mod tests {

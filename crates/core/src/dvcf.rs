@@ -1,7 +1,8 @@
 //! The Differentiated Vertical Cuckoo Filter (Section IV-B).
 
 use crate::bitmask::MaskPair;
-use crate::config::CuckooConfig;
+use crate::config::{CuckooConfig, EvictionPolicy};
+use crate::evict;
 use crate::key;
 use crate::vertical::VerticalParams;
 use rand::rngs::SmallRng;
@@ -44,6 +45,7 @@ pub struct Dvcf {
     params: VerticalParams,
     hash: HashKind,
     max_kicks: u32,
+    eviction: EvictionPolicy,
     /// Interval bounds `[lo, hi]` (inclusive) for the four-candidate rule.
     interval_lo: u32,
     interval_hi: u32,
@@ -82,6 +84,7 @@ impl Dvcf {
             params,
             hash: config.hash,
             max_kicks: config.max_kicks,
+            eviction: config.eviction,
             interval_lo: half - delta_t,
             interval_hi: half.saturating_add(delta_t).min((t - 1) as u32),
             rng: SmallRng::seed_from_u64(config.seed),
@@ -152,22 +155,36 @@ impl Dvcf {
             ([b1, alt, 0, 0], 2)
         }
     }
-}
 
-impl Filter for Dvcf {
-    /// Algorithm 4, with rollback-on-failure.
-    fn insert(&mut self, item: &[u8]) -> Result<(), InsertError> {
-        let (fingerprint, b1) = self.key_of(item);
-        let hfp = self.hash.hash_fingerprint(fingerprint);
-        self.counters.add_hashes(2);
-        let (cands, len) = self.candidate_list(fingerprint, b1, hfp);
+    /// Places an already-hashed item under the configured policy.
+    fn insert_prehashed(
+        &mut self,
+        fingerprint: u32,
+        cands: [usize; 4],
+        len: usize,
+    ) -> Result<(), InsertError> {
+        match self.eviction {
+            EvictionPolicy::RandomWalk => self.insert_random_walk(fingerprint, cands, len),
+            EvictionPolicy::Bfs => self.insert_bfs(fingerprint, cands, len),
+        }
+    }
 
+    /// Algorithm 4's random walk, with rollback-on-failure and bucket
+    /// accesses counted as they happen.
+    fn insert_random_walk(
+        &mut self,
+        fingerprint: u32,
+        cands: [usize; 4],
+        len: usize,
+    ) -> Result<(), InsertError> {
         let slots = self.table.slots_per_bucket();
         let mut probes = 0u64;
+        let mut bucket_accesses = 0u64;
         for &bucket in &cands[..len] {
             probes += slots as u64;
+            bucket_accesses += 1;
             if self.table.try_insert(bucket, fingerprint).is_some() {
-                self.counters.record_insert(probes, len as u64);
+                self.counters.record_insert(probes, bucket_accesses);
                 return Ok(());
             }
         }
@@ -176,10 +193,10 @@ impl Filter for Dvcf {
         let mut current_fp = fingerprint;
         let mut current_bucket = cands[self.rng.gen_range(0..len)];
         let mut kicks = 0u64;
-        let mut bucket_accesses = len as u64;
         for _ in 0..self.max_kicks {
             let slot = self.rng.gen_range(0..slots);
             let victim = self.table.swap(current_bucket, slot, current_fp);
+            bucket_accesses += 1;
             self.undo.push((current_bucket, slot, victim));
             current_fp = victim;
             kicks += 1;
@@ -226,6 +243,115 @@ impl Filter for Dvcf {
         self.counters.record_insert(probes, bucket_accesses);
         self.counters.add_failed_insert();
         Err(InsertError::Full { kicks })
+    }
+
+    /// BFS policy: each expanded victim gets the per-fingerprint interval
+    /// judgment of Algorithm 4 — three vertical alternates inside `In₁`,
+    /// the single CF alternate outside — so the searched graph is exactly
+    /// the graph the random walk samples. No undo log: nothing is written
+    /// unless a complete path was found.
+    fn insert_bfs(
+        &mut self,
+        fingerprint: u32,
+        cands: [usize; 4],
+        len: usize,
+    ) -> Result<(), InsertError> {
+        use core::cell::Cell;
+
+        let slots = self.table.slots_per_bucket();
+        let probes = Cell::new(0u64);
+        let accesses = Cell::new(0u64);
+        let max_nodes = if self.max_kicks == 0 {
+            0
+        } else {
+            (self.max_kicks as usize).max(8)
+        };
+
+        let table = &self.table;
+        let params = &self.params;
+        let hash = self.hash;
+        let counters = &self.counters;
+        let interval = self.interval_lo..=self.interval_hi;
+        let path = evict::search(
+            cands[..len].iter().map(|&b| (b, fingerprint)),
+            max_nodes,
+            |bucket| {
+                probes.set(probes.get() + slots as u64);
+                accesses.set(accesses.get() + 1);
+                table.first_empty_slot(bucket)
+            },
+            |bucket, out| {
+                accesses.set(accesses.get() + 1);
+                for slot in 0..slots {
+                    let resident = table.get(bucket, slot);
+                    let hfp = hash.hash_fingerprint(resident);
+                    counters.add_hashes(1);
+                    if interval.contains(&resident) {
+                        for &alt in &params.alternates(bucket, hfp) {
+                            out.push((slot, alt, resident));
+                        }
+                    } else {
+                        out.push((slot, params.cf_alternate(bucket, hfp), resident));
+                    }
+                }
+            },
+        );
+
+        let Some(path) = path else {
+            self.counters.record_insert(probes.get(), accesses.get());
+            self.counters.add_failed_insert();
+            return Err(InsertError::Full { kicks: 0 });
+        };
+
+        let kicks = path.kicks();
+        let mut dest = path.empty_slot;
+        for step in path.steps[1..].iter().rev() {
+            self.table.set(step.bucket, dest, step.value);
+            dest = step.slot_in_parent;
+        }
+        self.table.set(path.steps[0].bucket, dest, fingerprint);
+        self.counters.add_kicks(kicks);
+        self.counters
+            .record_insert(probes.get(), accesses.get() + kicks + 1);
+        Ok(())
+    }
+}
+
+impl Filter for Dvcf {
+    /// Algorithm 4 under the configured eviction policy.
+    fn insert(&mut self, item: &[u8]) -> Result<(), InsertError> {
+        let (fingerprint, b1) = self.key_of(item);
+        let hfp = self.hash.hash_fingerprint(fingerprint);
+        self.counters.add_hashes(2);
+        let (cands, len) = self.candidate_list(fingerprint, b1, hfp);
+        self.insert_prehashed(fingerprint, cands, len)
+    }
+
+    /// Pipelined Algorithm 4: interval judgments, candidate derivation
+    /// and bucket prefetches for a window of items first, then in-order
+    /// placement through the same path as serial [`insert`](Self::insert)
+    /// (identical PRNG consumption, so batch ≡ serial exactly).
+    fn insert_batch(&mut self, items: &[&[u8]]) -> Vec<Result<(), InsertError>> {
+        const WINDOW: usize = 16;
+        let mut out = Vec::with_capacity(items.len());
+        let mut window = Vec::with_capacity(WINDOW);
+        for chunk in items.chunks(WINDOW) {
+            window.clear();
+            for item in chunk {
+                let (fingerprint, b1) = self.key_of(item);
+                let hfp = self.hash.hash_fingerprint(fingerprint);
+                self.counters.add_hashes(2);
+                let (cands, len) = self.candidate_list(fingerprint, b1, hfp);
+                for &bucket in &cands[..len] {
+                    self.table.prefetch_bucket(bucket);
+                }
+                window.push((fingerprint, cands, len));
+            }
+            for &(fingerprint, cands, len) in &window {
+                out.push(self.insert_prehashed(fingerprint, cands, len));
+            }
+        }
+        out
     }
 
     /// Algorithm 5.
@@ -444,5 +570,48 @@ mod tests {
             (stored, f.stats().kicks)
         };
         assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn insert_batch_matches_serial_exactly() {
+        let keys: Vec<Vec<u8>> = (0..1100).map(key).collect();
+        let refs: Vec<&[u8]> = keys.iter().map(Vec::as_slice).collect();
+        let config = CuckooConfig::new(1 << 8).with_seed(33);
+
+        let mut serial = Dvcf::with_r(config, 0.5).unwrap();
+        let serial_results: Vec<_> = refs.iter().map(|k| serial.insert(k)).collect();
+        let mut batched = Dvcf::with_r(config, 0.5).unwrap();
+        let batch_results = batched.insert_batch(&refs);
+
+        assert_eq!(serial_results, batch_results);
+        assert_eq!(serial.len(), batched.len());
+        assert_eq!(serial.stats().kicks, batched.stats().kicks);
+        for k in &refs {
+            assert_eq!(serial.contains(k), batched.contains(k));
+        }
+    }
+
+    #[test]
+    fn bfs_policy_preserves_membership_and_load() {
+        let mut f = Dvcf::with_r(
+            CuckooConfig::new(1 << 8)
+                .with_seed(17)
+                .with_eviction_policy(EvictionPolicy::Bfs),
+            0.5,
+        )
+        .unwrap();
+        let mut acknowledged = Vec::new();
+        for i in 0..f.capacity() as u64 {
+            if f.insert(&key(i)).is_ok() {
+                acknowledged.push(i);
+            }
+        }
+        assert!(
+            acknowledged.len() as f64 / f.capacity() as f64 > 0.9,
+            "BFS DVCF(0.5) load too low"
+        );
+        for i in acknowledged {
+            assert!(f.contains(&key(i)), "item {i} lost under BFS eviction");
+        }
     }
 }

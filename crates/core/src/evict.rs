@@ -1,0 +1,232 @@
+//! Breadth-first eviction path search shared by the cuckoo-family
+//! filters ([`EvictionPolicy::Bfs`](crate::EvictionPolicy::Bfs)).
+//!
+//! When every candidate bucket of a new item is full, the random-walk
+//! policy (Algorithm 1) evicts blind: one table write per kick, an undo
+//! log in case the walk dead-ends. BFS instead searches the relocation
+//! graph first and writes second. The graph's nodes are buckets; bucket
+//! `B` has an edge to bucket `B'` when some resident fingerprint of `B`
+//! may legally move to `B'`. Theorem 1's coset closure is what makes this
+//! graph *exact* for the vertical filters: a resident's full alternate
+//! set is computable from its stored bits and current bucket alone, so an
+//! edge found during the search is guaranteed to still be legal when the
+//! path executes (nothing mutates between search and execution in the
+//! single-threaded filters).
+//!
+//! The search is deterministic (no RNG), visits each bucket at most once,
+//! and is bounded by a node budget derived from `max_kicks`. Because
+//! every bucket on a found path is distinct, the path can be executed
+//! back-to-front — each move writes into the slot vacated by the move
+//! after it — with **no undo log**: the first write targets the empty
+//! slot, and nothing is touched unless a complete path was found.
+
+/// One hop of a found relocation path.
+///
+/// `steps[0]` is a candidate bucket of the new item; `steps.last()` is
+/// the bucket holding the empty slot. For `i ≥ 1`, the resident at
+/// `(steps[i-1].bucket, steps[i].slot_in_parent)` moves into
+/// `steps[i].bucket`, stored there as `steps[i].value`. The root's
+/// `value` is the new item's stored form in `steps[0].bucket` (its
+/// `slot_in_parent` is meaningless).
+#[derive(Debug, Clone, Copy)]
+pub struct PathStep<V> {
+    /// Bucket this step frees a slot in (root: the insert target).
+    pub bucket: usize,
+    /// Slot in the *parent's* bucket whose resident moves here.
+    pub slot_in_parent: usize,
+    /// Stored representation of the mover once it lands in `bucket`
+    /// (fingerprints never change on relocation, but k-VCF marks do).
+    pub value: V,
+}
+
+/// A complete relocation path: `steps.len() - 1` moves plus the final
+/// placement of the new item.
+#[derive(Debug, Clone)]
+pub struct BfsPath<V> {
+    /// Root-to-goal chain of buckets; see [`PathStep`].
+    pub steps: Vec<PathStep<V>>,
+    /// Empty slot in `steps.last().bucket` that anchors the chain.
+    pub empty_slot: usize,
+}
+
+impl<V> BfsPath<V> {
+    /// Number of resident relocations the path performs (the kick count).
+    pub fn kicks(&self) -> u64 {
+        (self.steps.len() - 1) as u64
+    }
+}
+
+struct Node<V> {
+    bucket: usize,
+    /// Index of the parent node, `usize::MAX` for roots.
+    parent: usize,
+    slot_in_parent: usize,
+    value: V,
+}
+
+/// Breadth-first search for the shortest relocation path from any root
+/// to a bucket with an empty slot.
+///
+/// * `roots` — the new item's candidate buckets, paired with the value
+///   the item would be stored as in each (k-VCF marks differ per
+///   candidate). Duplicate buckets are ignored.
+/// * `max_nodes` — total node budget; once reached no further buckets
+///   are expanded, bounding both the frontier and the hash work.
+/// * `first_empty(bucket)` — first empty slot of `bucket`, if any.
+/// * `expand(bucket, out)` — pushes `(slot, alt_bucket, moved_value)`
+///   for every legal single move out of `bucket`; the closure is where
+///   the caller hashes resident fingerprints (and counts those hashes).
+///
+/// Returns the shortest path found, or `None` when the budgeted
+/// subgraph contains no empty slot. Visited buckets are deduplicated,
+/// so all buckets on a returned path are pairwise distinct — the
+/// property that makes back-to-front execution clobber-free.
+pub fn search<V: Copy>(
+    roots: impl IntoIterator<Item = (usize, V)>,
+    max_nodes: usize,
+    mut first_empty: impl FnMut(usize) -> Option<usize>,
+    mut expand: impl FnMut(usize, &mut Vec<(usize, usize, V)>),
+) -> Option<BfsPath<V>> {
+    let mut nodes: Vec<Node<V>> = Vec::new();
+    let mut visited: Vec<usize> = Vec::new();
+    for (bucket, value) in roots {
+        if visited.contains(&bucket) {
+            continue;
+        }
+        visited.push(bucket);
+        nodes.push(Node {
+            bucket,
+            parent: usize::MAX,
+            slot_in_parent: 0,
+            value,
+        });
+    }
+
+    let mut moves: Vec<(usize, usize, V)> = Vec::new();
+    let mut head = 0;
+    while head < nodes.len() {
+        if let Some(slot) = first_empty(nodes[head].bucket) {
+            return Some(reconstruct(&nodes, head, slot));
+        }
+        if nodes.len() < max_nodes {
+            moves.clear();
+            expand(nodes[head].bucket, &mut moves);
+            for &(slot, alt, value) in &moves {
+                if nodes.len() >= max_nodes {
+                    break;
+                }
+                if visited.contains(&alt) {
+                    continue;
+                }
+                visited.push(alt);
+                nodes.push(Node {
+                    bucket: alt,
+                    parent: head,
+                    slot_in_parent: slot,
+                    value,
+                });
+            }
+        }
+        head += 1;
+    }
+    None
+}
+
+fn reconstruct<V: Copy>(nodes: &[Node<V>], goal: usize, empty_slot: usize) -> BfsPath<V> {
+    let mut steps = Vec::new();
+    let mut at = goal;
+    loop {
+        let node = &nodes[at];
+        steps.push(PathStep {
+            bucket: node.bucket,
+            slot_in_parent: node.slot_in_parent,
+            value: node.value,
+        });
+        if node.parent == usize::MAX {
+            break;
+        }
+        at = node.parent;
+    }
+    steps.reverse();
+    BfsPath { steps, empty_slot }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Tiny synthetic relocation graph: bucket `b`'s residents may move
+    /// to `b + 1` (slot 0) and `b + 2` (slot 1); buckets ≥ `empty_from`
+    /// have slot 3 empty.
+    fn toy_search(
+        roots: &[usize],
+        empty_from: usize,
+        max_nodes: usize,
+    ) -> Option<BfsPath<&'static str>> {
+        search(
+            roots.iter().map(|&b| (b, "root")),
+            max_nodes,
+            |b| (b >= empty_from).then_some(3),
+            |b, out| {
+                out.push((0, b + 1, "via0"));
+                out.push((1, b + 2, "via1"));
+            },
+        )
+    }
+
+    #[test]
+    fn root_with_empty_slot_is_zero_kicks() {
+        let path = toy_search(&[10], 10, 64).expect("root itself has room");
+        assert_eq!(path.kicks(), 0);
+        assert_eq!(path.steps[0].bucket, 10);
+        assert_eq!(path.empty_slot, 3);
+    }
+
+    #[test]
+    fn finds_shortest_path() {
+        // Roots 0..=1, empties start at bucket 4: 0→2→4 and 1→3→(4|5)
+        // tie at 2 kicks; BFS must not return anything longer.
+        let path = toy_search(&[0, 1], 4, 64).expect("path exists");
+        assert_eq!(path.kicks(), 2);
+        let buckets: Vec<usize> = path.steps.iter().map(|s| s.bucket).collect();
+        assert!(buckets[0] == 0 || buckets[0] == 1);
+        assert!(buckets.last().unwrap() >= &4);
+    }
+
+    #[test]
+    fn path_buckets_are_distinct() {
+        let path = toy_search(&[0], 6, 64).expect("path exists");
+        let mut buckets: Vec<usize> = path.steps.iter().map(|s| s.bucket).collect();
+        let len = buckets.len();
+        buckets.sort_unstable();
+        buckets.dedup();
+        assert_eq!(
+            buckets.len(),
+            len,
+            "visited-set must keep path buckets distinct"
+        );
+    }
+
+    #[test]
+    fn node_budget_bounds_the_search() {
+        // Empties unreachable within 3 nodes (roots included).
+        assert!(toy_search(&[0], 100, 3).is_none());
+        // Generous budget reaches them.
+        assert!(toy_search(&[0], 100, 10_000).is_some());
+    }
+
+    #[test]
+    fn duplicate_roots_are_deduplicated() {
+        let path = toy_search(&[5, 5, 5], 5, 64).expect("root has room");
+        assert_eq!(path.kicks(), 0);
+    }
+
+    #[test]
+    fn values_ride_along_the_path() {
+        let path = toy_search(&[0], 2, 64).expect("path exists");
+        assert_eq!(path.steps[0].value, "root");
+        for step in &path.steps[1..] {
+            assert!(step.value.starts_with("via"));
+        }
+    }
+}

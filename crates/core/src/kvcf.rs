@@ -1,7 +1,8 @@
 //! The generalized k-VCF (Section III-C): `k ≥ 2` candidate buckets with
 //! per-slot mark bits.
 
-use crate::config::CuckooConfig;
+use crate::config::{CuckooConfig, EvictionPolicy};
+use crate::evict;
 use crate::key;
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
@@ -52,6 +53,7 @@ pub struct KVcf {
     masks: Vec<u64>,
     hash: HashKind,
     max_kicks: u32,
+    eviction: EvictionPolicy,
     seed: u64,
     index_mask: u64,
     rng: SmallRng,
@@ -114,6 +116,7 @@ impl KVcf {
             masks,
             hash: config.hash,
             max_kicks: config.max_kicks,
+            eviction: config.eviction,
             seed: config.seed,
             index_mask: config.buckets as u64 - 1,
             rng: SmallRng::seed_from_u64(config.seed),
@@ -184,13 +187,28 @@ impl KVcf {
     fn relocate(&self, bg: usize, hfp: u64, g: usize, e: usize) -> usize {
         bg ^ ((hfp & self.masks[g]) ^ (hfp & self.masks[e])) as usize & self.index_mask as usize
     }
-}
 
-impl Filter for KVcf {
-    fn insert(&mut self, item: &[u8]) -> Result<(), InsertError> {
-        let (fingerprint, b1) = self.key_of(item);
-        let hfp = self.hash.hash_fingerprint(fingerprint);
-        self.counters.add_hashes(2);
+    /// Places an already-hashed item under the configured policy.
+    fn insert_prehashed(
+        &mut self,
+        fingerprint: u32,
+        b1: usize,
+        hfp: u64,
+    ) -> Result<(), InsertError> {
+        match self.eviction {
+            EvictionPolicy::RandomWalk => self.insert_random_walk(fingerprint, b1, hfp),
+            EvictionPolicy::Bfs => self.insert_bfs(fingerprint, b1, hfp),
+        }
+    }
+
+    /// The paper's random-walk relocation over Equ. 7, with
+    /// rollback-on-failure and bucket accesses counted as they happen.
+    fn insert_random_walk(
+        &mut self,
+        fingerprint: u32,
+        b1: usize,
+        hfp: u64,
+    ) -> Result<(), InsertError> {
         let k = self.k();
         let slots = self.table.slots_per_bucket();
 
@@ -230,6 +248,7 @@ impl Filter for KVcf {
                 .table
                 .swap(cur_bucket, slot, cur_entry)
                 .expect("eviction only targets full buckets");
+            bucket_accesses += 1;
             self.undo.push((cur_bucket, slot, victim));
             kicks += 1;
 
@@ -281,6 +300,127 @@ impl Filter for KVcf {
         self.counters.record_insert(probes, bucket_accesses);
         self.counters.add_failed_insert();
         Err(InsertError::Full { kicks })
+    }
+
+    /// BFS policy over the Theorem-2 relocation graph: every stored mark
+    /// tells the search which candidate its slot is (`g`), so Equ. 7
+    /// enumerates the victim's `k − 1` exact alternates — no mark
+    /// ambiguity, no undo log, writes only on a validated path.
+    fn insert_bfs(&mut self, fingerprint: u32, b1: usize, hfp: u64) -> Result<(), InsertError> {
+        use core::cell::Cell;
+
+        let k = self.k();
+        let slots = self.table.slots_per_bucket();
+        let probes = Cell::new(0u64);
+        let accesses = Cell::new(0u64);
+        // Table V regime (`max_kicks == 0`): only the candidate scan —
+        // the roots — may be inspected for room.
+        let max_nodes = if self.max_kicks == 0 {
+            0
+        } else {
+            (self.max_kicks as usize).max(8)
+        };
+
+        let table = &self.table;
+        let masks = &self.masks;
+        let index_mask = self.index_mask;
+        let hash = self.hash;
+        let counters = &self.counters;
+        let relocate = |bg: usize, vh: u64, g: usize, e: usize| {
+            bg ^ ((vh & masks[g]) ^ (vh & masks[e])) as usize & index_mask as usize
+        };
+        let path = evict::search(
+            (0..k).map(|e| {
+                (
+                    b1 ^ (hfp & masks[e] & index_mask) as usize,
+                    MarkedEntry {
+                        fingerprint,
+                        mark: e as u8,
+                    },
+                )
+            }),
+            max_nodes,
+            |bucket| {
+                probes.set(probes.get() + slots as u64);
+                accesses.set(accesses.get() + 1);
+                table.first_empty_slot(bucket)
+            },
+            |bucket, out| {
+                accesses.set(accesses.get() + 1);
+                for slot in 0..slots {
+                    let victim = table
+                        .get(bucket, slot)
+                        .expect("expansion only visits full buckets");
+                    let victim_hash = hash.hash_fingerprint(victim.fingerprint);
+                    counters.add_hashes(1);
+                    let g = usize::from(victim.mark);
+                    for e in (0..k).filter(|&e| e != g) {
+                        out.push((
+                            slot,
+                            relocate(bucket, victim_hash, g, e),
+                            MarkedEntry {
+                                fingerprint: victim.fingerprint,
+                                mark: e as u8,
+                            },
+                        ));
+                    }
+                }
+            },
+        );
+
+        let Some(path) = path else {
+            self.counters.record_insert(probes.get(), accesses.get());
+            self.counters.add_failed_insert();
+            return Err(InsertError::Full { kicks: 0 });
+        };
+
+        let kicks = path.kicks();
+        let mut dest = path.empty_slot;
+        for step in path.steps[1..].iter().rev() {
+            self.table.swap(step.bucket, dest, step.value);
+            dest = step.slot_in_parent;
+        }
+        self.table
+            .swap(path.steps[0].bucket, dest, path.steps[0].value);
+        self.counters.add_kicks(kicks);
+        self.counters
+            .record_insert(probes.get(), accesses.get() + kicks + 1);
+        Ok(())
+    }
+}
+
+impl Filter for KVcf {
+    fn insert(&mut self, item: &[u8]) -> Result<(), InsertError> {
+        let (fingerprint, b1) = self.key_of(item);
+        let hfp = self.hash.hash_fingerprint(fingerprint);
+        self.counters.add_hashes(2);
+        self.insert_prehashed(fingerprint, b1, hfp)
+    }
+
+    /// Pipelined insertion: hashes a window of items and prefetches all
+    /// `k` candidate buckets per item first, then places entries in item
+    /// order through the same path as serial [`insert`](Self::insert)
+    /// (identical PRNG consumption, so batch ≡ serial exactly).
+    fn insert_batch(&mut self, items: &[&[u8]]) -> Vec<Result<(), InsertError>> {
+        const WINDOW: usize = 16;
+        let mut out = Vec::with_capacity(items.len());
+        let mut window = Vec::with_capacity(WINDOW);
+        for chunk in items.chunks(WINDOW) {
+            window.clear();
+            for item in chunk {
+                let (fingerprint, b1) = self.key_of(item);
+                let hfp = self.hash.hash_fingerprint(fingerprint);
+                self.counters.add_hashes(2);
+                for e in 0..self.k() {
+                    self.table.prefetch_bucket(self.candidate(b1, hfp, e));
+                }
+                window.push((fingerprint, b1, hfp));
+            }
+            for &(fingerprint, b1, hfp) in &window {
+                out.push(self.insert_prehashed(fingerprint, b1, hfp));
+            }
+        }
+        out
     }
 
     fn contains(&self, item: &[u8]) -> bool {
@@ -542,5 +682,61 @@ mod tests {
             (stored, f.stats().kicks)
         };
         assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn insert_batch_matches_serial_exactly() {
+        let keys: Vec<Vec<u8>> = (0..1100).map(key).collect();
+        let refs: Vec<&[u8]> = keys.iter().map(Vec::as_slice).collect();
+
+        let mut serial = KVcf::new(config(), 6).unwrap();
+        let serial_results: Vec<_> = refs.iter().map(|k| serial.insert(k)).collect();
+        let mut batched = KVcf::new(config(), 6).unwrap();
+        let batch_results = batched.insert_batch(&refs);
+
+        assert_eq!(serial_results, batch_results);
+        assert_eq!(serial.len(), batched.len());
+        assert_eq!(serial.stats().kicks, batched.stats().kicks);
+        for k in &refs {
+            assert_eq!(serial.contains(k), batched.contains(k));
+        }
+    }
+
+    #[test]
+    fn bfs_policy_preserves_membership() {
+        let mut f = KVcf::new(config().with_eviction_policy(EvictionPolicy::Bfs), 6).unwrap();
+        let mut acknowledged = Vec::new();
+        for i in 0..f.capacity() as u64 {
+            if f.insert(&key(i)).is_ok() {
+                acknowledged.push(i);
+            }
+        }
+        assert!(
+            acknowledged.len() as f64 / f.capacity() as f64 > 0.95,
+            "BFS k-VCF load too low"
+        );
+        for i in acknowledged {
+            assert!(f.contains(&key(i)), "item {i} lost under BFS eviction");
+        }
+    }
+
+    #[test]
+    fn bfs_zero_kicks_regime_never_relocates() {
+        let mut f = KVcf::new(
+            config()
+                .with_max_kicks(0)
+                .with_eviction_policy(EvictionPolicy::Bfs),
+            8,
+        )
+        .unwrap();
+        for i in 0..f.capacity() as u64 {
+            let _ = f.insert(&key(i));
+        }
+        assert_eq!(f.stats().kicks, 0, "MAX=0 must suppress BFS relocation");
+        assert!(
+            f.table_load_factor() > 0.90,
+            "α = {}",
+            f.table_load_factor()
+        );
     }
 }

@@ -55,6 +55,7 @@ mod concurrent;
 mod config;
 mod dvcf;
 mod dynamic;
+pub mod evict;
 mod kvcf;
 mod sharded;
 mod snapshot;
@@ -63,7 +64,7 @@ mod vertical;
 
 pub use bitmask::MaskPair;
 pub use concurrent::ConcurrentVcf;
-pub use config::CuckooConfig;
+pub use config::{CuckooConfig, EvictionPolicy};
 pub use dvcf::Dvcf;
 pub use dynamic::DynamicVcf;
 pub use kvcf::KVcf;

@@ -1,7 +1,8 @@
 //! The Vertical Cuckoo Filter (Algorithms 1–3) — also covers IVCF.
 
 use crate::bitmask::MaskPair;
-use crate::config::CuckooConfig;
+use crate::config::{CuckooConfig, EvictionPolicy};
+use crate::evict;
 use crate::key;
 use crate::vertical::{Candidates, VerticalParams};
 use rand::rngs::SmallRng;
@@ -64,6 +65,7 @@ pub struct VerticalCuckooFilter {
     masks: MaskPair,
     hash: HashKind,
     max_kicks: u32,
+    eviction: EvictionPolicy,
     seed: u64,
     rng: SmallRng,
     /// Undo log for the current eviction walk: `(bucket, slot, previous
@@ -120,6 +122,7 @@ impl VerticalCuckooFilter {
             masks,
             hash: config.hash,
             max_kicks: config.max_kicks,
+            eviction: config.eviction,
             seed: config.seed,
             rng: SmallRng::seed_from_u64(config.seed),
             undo: Vec::new(),
@@ -216,22 +219,33 @@ impl VerticalCuckooFilter {
         let hfp = self.hash.hash_fingerprint(fingerprint);
         self.params.candidates(b1, hfp)
     }
-}
 
-impl Filter for VerticalCuckooFilter {
-    /// Algorithm 1, with rollback-on-failure.
-    fn insert(&mut self, item: &[u8]) -> Result<(), InsertError> {
-        let (fingerprint, b1) = self.key_of(item);
-        let hfp = self.hash.hash_fingerprint(fingerprint);
-        self.counters.add_hashes(2); // hash(x) + hash(η)
-        let cands = self.params.candidates(b1, hfp);
+    /// Places an already-hashed item: Algorithm 1's candidate scan
+    /// followed by the configured conflict policy. `add_hashes(2)` for
+    /// `hash(x)`/`hash(η)` has already been charged by the caller.
+    fn insert_prehashed(&mut self, fingerprint: u32, cands: Candidates) -> Result<(), InsertError> {
+        match self.eviction {
+            EvictionPolicy::RandomWalk => self.insert_random_walk(fingerprint, cands),
+            EvictionPolicy::Bfs => self.insert_bfs(fingerprint, cands),
+        }
+    }
 
+    /// Algorithm 1 with rollback-on-failure. Bucket accesses are counted
+    /// as they happen (candidate probes, eviction swaps, alternate
+    /// probes) instead of the old closed-form `4 + 3·kicks`.
+    fn insert_random_walk(
+        &mut self,
+        fingerprint: u32,
+        cands: Candidates,
+    ) -> Result<(), InsertError> {
+        let slots = self.table.slots_per_bucket();
         let mut probes = 0u64;
+        let mut accesses = 0u64;
         for bucket in cands.iter() {
-            probes += self.table.slots_per_bucket() as u64;
+            probes += slots as u64;
+            accesses += 1;
             if self.table.try_insert(bucket, fingerprint).is_some() {
-                self.counters
-                    .record_insert(probes, cands.buckets.len() as u64);
+                self.counters.record_insert(probes, accesses);
                 return Ok(());
             }
         }
@@ -241,11 +255,11 @@ impl Filter for VerticalCuckooFilter {
         self.undo.clear();
         let mut current_fp = fingerprint;
         let mut current_bucket = cands.buckets[self.rng.gen_range(0..4)];
-        let slots = self.table.slots_per_bucket();
         let mut kicks = 0u64;
         for _ in 0..self.max_kicks {
             let slot = self.rng.gen_range(0..slots);
             let victim = self.table.swap(current_bucket, slot, current_fp);
+            accesses += 1;
             self.undo.push((current_bucket, slot, victim));
             current_fp = victim;
             kicks += 1;
@@ -256,6 +270,7 @@ impl Filter for VerticalCuckooFilter {
             let mut placed = false;
             for &alt in &alts {
                 probes += slots as u64;
+                accesses += 1;
                 if self.table.try_insert(alt, current_fp).is_some() {
                     placed = true;
                     break;
@@ -263,7 +278,7 @@ impl Filter for VerticalCuckooFilter {
             }
             if placed {
                 self.counters.add_kicks(kicks);
-                self.counters.record_insert(probes, 4 + 3 * kicks);
+                self.counters.record_insert(probes, accesses);
                 return Ok(());
             }
             current_bucket = alts[self.rng.gen_range(0..3)];
@@ -276,9 +291,114 @@ impl Filter for VerticalCuckooFilter {
         }
         self.undo.clear();
         self.counters.add_kicks(kicks);
-        self.counters.record_insert(probes, 4 + 3 * kicks);
+        self.counters.record_insert(probes, accesses);
         self.counters.add_failed_insert();
         Err(InsertError::Full { kicks })
+    }
+
+    /// BFS policy: search the Theorem-1 relocation graph for the shortest
+    /// path to an empty slot, then execute it back-to-front. Nothing is
+    /// written unless a complete path exists, so no undo log is needed;
+    /// a zero-kick path is simply "a candidate had room".
+    fn insert_bfs(&mut self, fingerprint: u32, cands: Candidates) -> Result<(), InsertError> {
+        use core::cell::Cell;
+
+        let slots = self.table.slots_per_bucket();
+        let probes = Cell::new(0u64);
+        let accesses = Cell::new(0u64);
+        // `max_kicks == 0` disables relocation (Table V regime): only the
+        // roots may be inspected for room.
+        let max_nodes = if self.max_kicks == 0 {
+            0
+        } else {
+            (self.max_kicks as usize).max(8)
+        };
+
+        let table = &self.table;
+        let params = &self.params;
+        let hash = self.hash;
+        let counters = &self.counters;
+        let path = evict::search(
+            cands.iter().map(|b| (b, fingerprint)),
+            max_nodes,
+            |bucket| {
+                probes.set(probes.get() + slots as u64);
+                accesses.set(accesses.get() + 1);
+                table.first_empty_slot(bucket)
+            },
+            |bucket, out| {
+                accesses.set(accesses.get() + 1);
+                for slot in 0..slots {
+                    let resident = table.get(bucket, slot);
+                    let hfp = hash.hash_fingerprint(resident);
+                    counters.add_hashes(1);
+                    for &alt in &params.alternates(bucket, hfp) {
+                        out.push((slot, alt, resident));
+                    }
+                }
+            },
+        );
+
+        let Some(path) = path else {
+            self.counters.record_insert(probes.get(), accesses.get());
+            self.counters.add_failed_insert();
+            return Err(InsertError::Full { kicks: 0 });
+        };
+
+        let kicks = path.kicks();
+        let mut dest = path.empty_slot;
+        for step in path.steps[1..].iter().rev() {
+            self.table.set(step.bucket, dest, step.value);
+            dest = step.slot_in_parent;
+        }
+        self.table.set(path.steps[0].bucket, dest, fingerprint);
+        self.counters.add_kicks(kicks);
+        self.counters
+            .record_insert(probes.get(), accesses.get() + kicks + 1);
+        Ok(())
+    }
+}
+
+impl Filter for VerticalCuckooFilter {
+    /// Algorithm 1 under the configured eviction policy (random walk
+    /// with rollback-on-failure by default, BFS path search with
+    /// [`EvictionPolicy::Bfs`]).
+    fn insert(&mut self, item: &[u8]) -> Result<(), InsertError> {
+        let (fingerprint, b1) = self.key_of(item);
+        let hfp = self.hash.hash_fingerprint(fingerprint);
+        self.counters.add_hashes(2); // hash(x) + hash(η)
+        let cands = self.params.candidates(b1, hfp);
+        self.insert_prehashed(fingerprint, cands)
+    }
+
+    /// Pipelined Algorithm 1: hashes a window of items up front, issuing
+    /// a software prefetch for every candidate bucket as each key is
+    /// derived, then places fingerprints against warm cache lines.
+    /// Placement runs in item order through the same
+    /// [`insert_prehashed`](Self::insert_prehashed) as the serial path —
+    /// the eviction PRNG is consumed identically, so batch and serial
+    /// inserts produce bit-identical tables.
+    fn insert_batch(&mut self, items: &[&[u8]]) -> Vec<Result<(), InsertError>> {
+        const WINDOW: usize = 16;
+        let mut out = Vec::with_capacity(items.len());
+        let mut window = Vec::with_capacity(WINDOW);
+        for chunk in items.chunks(WINDOW) {
+            window.clear();
+            for item in chunk {
+                let (fingerprint, b1) = self.key_of(item);
+                let hfp = self.hash.hash_fingerprint(fingerprint);
+                self.counters.add_hashes(2);
+                let cands = self.params.candidates(b1, hfp);
+                for bucket in cands.iter() {
+                    self.table.prefetch_bucket(bucket);
+                }
+                window.push((fingerprint, cands));
+            }
+            for &(fingerprint, cands) in &window {
+                out.push(self.insert_prehashed(fingerprint, cands));
+            }
+        }
+        out
     }
 
     /// Algorithm 2 — probes all four candidate entries (duplicates
@@ -624,5 +744,146 @@ mod tests {
     fn filter_is_send_and_sync() {
         fn assert_send_sync<T: Send + Sync>() {}
         assert_send_sync::<VerticalCuckooFilter>();
+    }
+
+    #[test]
+    fn insert_batch_matches_serial_exactly() {
+        let keys: Vec<Vec<u8>> = (0..1100).map(key).collect();
+        let refs: Vec<&[u8]> = keys.iter().map(Vec::as_slice).collect();
+        let config = CuckooConfig::new(1 << 8).with_seed(42);
+
+        let mut serial = VerticalCuckooFilter::new(config).unwrap();
+        let serial_results: Vec<_> = refs.iter().map(|k| serial.insert(k)).collect();
+        let mut batched = VerticalCuckooFilter::new(config).unwrap();
+        let batch_results = batched.insert_batch(&refs);
+
+        assert_eq!(serial_results, batch_results);
+        assert_eq!(serial.len(), batched.len());
+        assert_eq!(serial.stats().kicks, batched.stats().kicks);
+        for b in 0..serial.buckets() {
+            for s in 0..serial.slots_per_bucket() {
+                assert_eq!(
+                    serial.slot_value(b, s),
+                    batched.slot_value(b, s),
+                    "table diverged at ({b}, {s})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn bfs_policy_fills_past_95_percent() {
+        let mut f = VerticalCuckooFilter::new(
+            CuckooConfig::new(1 << 10)
+                .with_seed(3)
+                .with_eviction_policy(EvictionPolicy::Bfs),
+        )
+        .unwrap();
+        let capacity = f.capacity();
+        let mut acknowledged = Vec::new();
+        for i in 0..capacity as u64 {
+            if f.insert(&key(i)).is_ok() {
+                acknowledged.push(i);
+            }
+        }
+        let alpha = acknowledged.len() as f64 / capacity as f64;
+        assert!(alpha > 0.95, "BFS VCF load factor only {alpha}");
+        for i in acknowledged {
+            assert!(f.contains(&key(i)), "item {i} lost under BFS eviction");
+        }
+    }
+
+    #[test]
+    fn bfs_failed_insert_writes_nothing() {
+        let mut f = VerticalCuckooFilter::new(
+            CuckooConfig::new(1 << 5)
+                .with_seed(7)
+                .with_eviction_policy(EvictionPolicy::Bfs),
+        )
+        .unwrap();
+        let mut i = 0u64;
+        loop {
+            if f.insert(&key(i)).is_err() {
+                break;
+            }
+            i += 1;
+            assert!(i < 10_000, "filter never filled");
+        }
+        let before = f.clone();
+        for j in 0..10u64 {
+            assert!(f.insert(&key(1_000_000 + j)).is_err());
+        }
+        assert_eq!(f.len(), before.len());
+        for b in 0..f.buckets() {
+            for s in 0..f.slots_per_bucket() {
+                assert_eq!(
+                    f.slot_value(b, s),
+                    before.slot_value(b, s),
+                    "failed BFS insert wrote to ({b}, {s})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn bfs_respects_zero_max_kicks() {
+        // Table V regime: no relocation at all, only the candidate scan.
+        let mut f = VerticalCuckooFilter::new(
+            CuckooConfig::new(1 << 4)
+                .with_max_kicks(0)
+                .with_seed(11)
+                .with_eviction_policy(EvictionPolicy::Bfs),
+        )
+        .unwrap();
+        let mut failed = 0;
+        for i in 0..(f.capacity() as u64 * 2) {
+            if f.insert(&key(i)).is_err() {
+                failed += 1;
+            }
+        }
+        assert!(failed > 0, "tiny filter must reject without relocation");
+        assert_eq!(f.stats().kicks, 0, "max_kicks = 0 must suppress BFS moves");
+    }
+
+    #[test]
+    fn random_walk_hash_count_matches_actual_calls() {
+        // Under the random walk, every insert hashes the item and its
+        // fingerprint (2), plus one fingerprint hash per kick. The
+        // counters must reproduce that exactly — no closed-form drift.
+        let mut f = small();
+        for i in 0..900 {
+            let _ = f.insert(&key(i));
+        }
+        let s = f.stats();
+        assert_eq!(s.hash_computations, 2 * s.inserts.calls + s.kicks);
+    }
+
+    #[test]
+    fn bfs_mean_kicks_not_above_random_walk_at_high_load() {
+        let run = |eviction: EvictionPolicy| {
+            let mut f = VerticalCuckooFilter::new(
+                CuckooConfig::new(1 << 10)
+                    .with_seed(21)
+                    .with_eviction_policy(eviction),
+            )
+            .unwrap();
+            let n = (f.capacity() as f64 * 0.95) as u64;
+            let mut i = 0u64;
+            let mut stored = 0u64;
+            while stored < n {
+                if f.insert(&key(i)).is_ok() {
+                    stored += 1;
+                }
+                i += 1;
+                assert!(i < 3 * n, "could not reach 95% load");
+            }
+            f.stats().kicks
+        };
+        let bfs = run(EvictionPolicy::Bfs);
+        let rw = run(EvictionPolicy::RandomWalk);
+        assert!(
+            bfs <= rw,
+            "BFS total kicks {bfs} exceed random walk {rw} at 95% load"
+        );
     }
 }

@@ -39,6 +39,7 @@
 //! kept zero by [`BucketEngine::set_slot`]; the kernels mask their result
 //! to active lanes so padding can never produce a phantom match.
 
+use crate::prefetch::prefetch_read;
 use crate::MAX_BUCKET_SLOTS;
 use vcf_traits::BuildError;
 
@@ -233,6 +234,27 @@ impl BucketEngine {
             &self.last
         } else {
             &self.full
+        }
+    }
+
+    /// Issues a software prefetch for `bucket`'s storage words without
+    /// reading them.
+    ///
+    /// A bucket spans [`words_per_bucket`](Self::words_per_bucket)
+    /// consecutive `u64`s (≤ 64 bytes at the widest supported geometry).
+    /// Buckets start on word — not cache-line — boundaries, so a wide
+    /// bucket can straddle two lines; hinting the first and last word
+    /// covers both. Unlike `touch_bucket` on the tables, this performs no
+    /// load at all: it never stalls the pipeline, which is what the
+    /// batched insert path wants when it warms a window of candidate
+    /// buckets ahead of placing fingerprints.
+    #[inline]
+    pub fn prefetch_bucket(&self, words: &[u64], bucket: usize) {
+        let base = bucket * self.words_per_bucket;
+        debug_assert!(base < words.len(), "bucket {bucket} out of range");
+        prefetch_read(&words[base]);
+        if self.words_per_bucket > 1 {
+            prefetch_read(&words[base + self.words_per_bucket - 1]);
         }
     }
 

@@ -38,7 +38,10 @@
 //! # Ok::<(), vcf_traits::BuildError>(())
 //! ```
 
-#![forbid(unsafe_code)]
+// `deny` rather than `forbid`: the one cfg-gated prefetch intrinsic in
+// `prefetch.rs` carries a scoped `#[allow(unsafe_code)]`; everything else
+// in the crate still rejects `unsafe` at compile time.
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 mod atomic_bucket;
@@ -46,6 +49,7 @@ mod bucket;
 mod fingerprint;
 mod marked;
 mod packed;
+mod prefetch;
 
 pub use atomic_bucket::{AtomicBucketEngine, AtomicFingerprintTable};
 pub use bucket::{BucketEngine, BucketWords, MAX_BUCKET_SEGMENTS, MAX_LANE_BITS};

@@ -177,6 +177,16 @@ impl MarkedTable {
         self.engine.read_bucket(&self.words, bucket)
     }
 
+    /// Issues a software prefetch for `bucket`'s storage words — the
+    /// insert pipeline's warm-up hook. Unlike
+    /// [`touch_bucket`](Self::touch_bucket) this performs no load, so it
+    /// cannot stall even when the line is cold.
+    #[inline]
+    pub fn prefetch_bucket(&self, bucket: usize) {
+        debug_assert!(bucket < self.buckets, "bucket {bucket} out of range");
+        self.engine.prefetch_bucket(&self.words, bucket);
+    }
+
     /// Pulls `bucket`'s cache line toward the core with a single word
     /// load (kept alive by `black_box`) — the batching layer's
     /// early-touch hook, much cheaper than materialising the bucket.
@@ -255,8 +265,15 @@ impl MarkedTable {
 
     /// Whether `bucket` has no empty slot.
     pub fn bucket_is_full(&self, bucket: usize) -> bool {
+        self.first_empty_slot(bucket).is_none()
+    }
+
+    /// First empty slot of `bucket`, if any — the BFS eviction search's
+    /// goal test.
+    #[inline]
+    pub fn first_empty_slot(&self, bucket: usize) -> Option<usize> {
         let loaded = self.read_bucket(bucket);
-        self.engine.first_empty_slot(&loaded).is_none()
+        self.engine.first_empty_slot(&loaded)
     }
 
     /// Swaps `entry` with the resident of `(bucket, slot)`, returning the

@@ -157,6 +157,22 @@ pub trait Filter {
     /// [`InsertError::CounterOverflow`] for saturated counting filters.
     fn insert(&mut self, item: &[u8]) -> Result<(), InsertError>;
 
+    /// Inserts many items at once, returning one result per item in
+    /// order. Equivalent to calling [`insert`](Filter::insert) on each
+    /// item — including on failure: an [`InsertError::Full`] for one item
+    /// does not stop the batch, exactly as a serial loop that records
+    /// per-item results would behave.
+    ///
+    /// Table-backed implementations override this with a pipelined
+    /// two-phase pass: hash a window of keys and prefetch all their
+    /// candidate buckets first, then place fingerprints against warm
+    /// cache lines. Overrides must preserve the serial semantics bit for
+    /// bit (same final table state, same per-item results) so the
+    /// differential tests in `tests/insert_batch_differential.rs` hold.
+    fn insert_batch(&mut self, items: &[&[u8]]) -> Vec<Result<(), InsertError>> {
+        items.iter().map(|item| self.insert(item)).collect()
+    }
+
     /// Tests membership of `item`. May return false positives, never false
     /// negatives.
     fn contains(&self, item: &[u8]) -> bool;

@@ -1,0 +1,152 @@
+//! Differential properties for the insert-side pipeline.
+//!
+//! Two families of checks, each across the whole filter family:
+//!
+//! 1. **Batch ≡ serial.** [`Filter::insert_batch`] prefetches and
+//!    pipelines, but it must be *observably identical* to calling
+//!    [`Filter::insert`] in a loop: same per-item results, same final
+//!    occupancy, same kick totals, and identical membership. The batched
+//!    overrides consume the eviction RNG in item order, so this holds
+//!    bit-for-bit, not just statistically.
+//! 2. **BFS ≡ random walk on membership.** Switching
+//!    [`EvictionPolicy::Bfs`] changes *where* fingerprints land and how
+//!    many relocations that takes, but never loses an acknowledged item;
+//!    and because BFS finds shortest relocation paths (and aborts failed
+//!    inserts before writing), its total kick count never exceeds the
+//!    random walk's on the same key sequence.
+
+use proptest::prelude::*;
+use vertical_cuckoo_filters::baselines::CuckooFilter;
+use vertical_cuckoo_filters::traits::Filter;
+use vertical_cuckoo_filters::vcf::{
+    CuckooConfig, Dvcf, EvictionPolicy, KVcf, VerticalCuckooFilter,
+};
+
+fn config() -> CuckooConfig {
+    CuckooConfig::new(1 << 6).with_seed(0xbead)
+}
+
+fn key_bytes(k: u32) -> [u8; 4] {
+    k.to_le_bytes()
+}
+
+/// Inserts `keys` serially into one instance and batched into another,
+/// then checks the two filters are observationally identical.
+fn check_batch_matches_serial(
+    mut serial: Box<dyn Filter>,
+    mut batched: Box<dyn Filter>,
+    keys: &[u32],
+) -> Result<(), TestCaseError> {
+    let name = serial.name();
+    let bytes: Vec<[u8; 4]> = keys.iter().copied().map(key_bytes).collect();
+    let refs: Vec<&[u8]> = bytes.iter().map(|b| b.as_slice()).collect();
+
+    let serial_results: Vec<_> = refs.iter().map(|k| serial.insert(k)).collect();
+    let batch_results = batched.insert_batch(&refs);
+
+    prop_assert_eq!(
+        &serial_results,
+        &batch_results,
+        "{}: per-item results diverge",
+        name
+    );
+    prop_assert_eq!(serial.len(), batched.len(), "{}: occupancy diverges", name);
+    prop_assert_eq!(
+        serial.stats().kicks,
+        batched.stats().kicks,
+        "{}: kick totals diverge",
+        name
+    );
+    for (key, result) in keys.iter().zip(&serial_results) {
+        if result.is_ok() {
+            prop_assert!(
+                serial.contains(&key_bytes(*key)),
+                "{}: serial lost {}",
+                name,
+                key
+            );
+            prop_assert!(
+                batched.contains(&key_bytes(*key)),
+                "{}: batched lost {}",
+                name,
+                key
+            );
+        }
+    }
+    Ok(())
+}
+
+/// Fills a random-walk and a BFS instance with the same keys; every
+/// acknowledged key must remain a member of its own filter (zero false
+/// negatives), and BFS must not out-kick the random walk.
+fn check_bfs_vs_random_walk(
+    mut random_walk: Box<dyn Filter>,
+    mut bfs: Box<dyn Filter>,
+    keys: &[u32],
+) -> Result<(), TestCaseError> {
+    let name = random_walk.name();
+    for (filter, policy) in [(&mut random_walk, "random-walk"), (&mut bfs, "bfs")] {
+        let mut acknowledged = Vec::new();
+        for key in keys {
+            if filter.insert(&key_bytes(*key)).is_ok() {
+                acknowledged.push(*key);
+            }
+        }
+        for key in &acknowledged {
+            prop_assert!(
+                filter.contains(&key_bytes(*key)),
+                "{} ({}): acknowledged key {} lost",
+                name,
+                policy,
+                key
+            );
+        }
+    }
+    prop_assert!(
+        bfs.stats().kicks <= random_walk.stats().kicks,
+        "{}: BFS kicked {} times, random walk only {}",
+        name,
+        bfs.stats().kicks,
+        random_walk.stats().kicks
+    );
+    Ok(())
+}
+
+type MakeFilter = fn(CuckooConfig) -> Box<dyn Filter>;
+
+fn family() -> Vec<(&'static str, MakeFilter)> {
+    vec![
+        ("CF", |c| Box::new(CuckooFilter::new(c).unwrap())),
+        ("VCF", |c| Box::new(VerticalCuckooFilter::new(c).unwrap())),
+        ("DVCF", |c| Box::new(Dvcf::with_r(c, 0.5).unwrap())),
+        ("KVCF", |c| {
+            Box::new(KVcf::new(c.with_fingerprint_bits(16), 6).unwrap())
+        }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Batch ≡ serial for every filter in the family, on duplicate-heavy
+    /// key streams long enough to trigger evictions (table holds 256).
+    #[test]
+    fn insert_batch_is_serial_insert(keys in prop::collection::vec(0u32..500, 1..320)) {
+        for (_, make) in family() {
+            check_batch_matches_serial(make(config()), make(config()), &keys)?;
+        }
+    }
+
+    /// BFS and random walk acknowledge-then-keep the same way, and BFS
+    /// never relocates more than the walk on the same stream.
+    #[test]
+    fn bfs_membership_matches_random_walk(keys in prop::collection::vec(0u32..500, 1..320)) {
+        for (_, make) in family() {
+            check_bfs_vs_random_walk(
+                make(config()),
+                make(config().with_eviction_policy(EvictionPolicy::Bfs)),
+                &keys,
+            )?;
+        }
+    }
+}

@@ -5,7 +5,9 @@
 use vertical_cuckoo_filters::analysis;
 use vertical_cuckoo_filters::baselines::{CuckooFilter, DaryCuckooFilter};
 use vertical_cuckoo_filters::traits::Filter;
-use vertical_cuckoo_filters::vcf::{CuckooConfig, Dvcf, KVcf, VerticalCuckooFilter};
+use vertical_cuckoo_filters::vcf::{
+    CuckooConfig, Dvcf, EvictionPolicy, KVcf, VerticalCuckooFilter,
+};
 use vertical_cuckoo_filters::workloads::KeyStream;
 
 const SLOTS_LOG2: u32 = 14;
@@ -176,5 +178,43 @@ fn claim_dcf_pays_more_for_lookups() {
     assert!(
         dcf_probes > 1.8 * cf_probes,
         "DCF negative lookups must probe ~2x CF: dcf={dcf_probes} cf={cf_probes}"
+    );
+}
+
+/// Insert-side pipeline claim: at 95 % load, breadth-first eviction's
+/// mean kicks-per-insert stays below the random-walk mean predicted by
+/// the paper's Equ. 14/15 model (and below a measured walk, for good
+/// measure). BFS finds shortest relocation paths, so it can only improve
+/// on the walk the model describes.
+#[test]
+fn claim_bfs_kicks_stay_below_random_walk_model_at_95_load() {
+    let slots = 1usize << SLOTS_LOG2;
+    let n = slots * 95 / 100;
+    let keys = KeyStream::new(7).take_vec(n);
+
+    let mut bfs =
+        VerticalCuckooFilter::new(config(7).with_eviction_policy(EvictionPolicy::Bfs)).unwrap();
+    let r = bfs.expected_r();
+    for key in &keys {
+        bfs.insert(key).expect("VCF+BFS must absorb a 95 % fill");
+    }
+    let measured = bfs.stats().kicks_per_insert();
+
+    let model = analysis::e0(0.95, analysis::avg_insert_cost(0.95, r, 4));
+    assert!(
+        measured < model,
+        "BFS mean kicks/insert {measured:.3} must stay below the \
+         random-walk model's {model:.3} at 95 % load"
+    );
+
+    let mut walk = VerticalCuckooFilter::new(config(7)).unwrap();
+    for key in &keys {
+        walk.insert(key).expect("VCF must absorb a 95 % fill");
+    }
+    assert!(
+        bfs.stats().kicks <= walk.stats().kicks,
+        "BFS total kicks {} must not exceed the measured walk's {}",
+        bfs.stats().kicks,
+        walk.stats().kicks
     );
 }
