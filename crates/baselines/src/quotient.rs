@@ -332,16 +332,13 @@ impl Filter for QuotientFilter {
         // Slow path: decode the span (possibly starting a new one at q if
         // q is empty but sits right before an existing span — decode_span
         // handles only non-empty q, so handle the adjacent case inline).
-        let (start, mut groups) = match self.decode_span(q) {
-            Some(decoded) => decoded,
-            None => {
-                // q is empty and unoccupied but the fast path failed —
-                // unreachable, kept for defensive clarity.
-                self.set_raw(q, (r << META_BITS) | OCCUPIED);
-                self.len += 1;
-                self.counters.record_insert(1, 1);
-                return Ok(());
-            }
+        let Some((start, mut groups)) = self.decode_span(q) else {
+            // q is empty and unoccupied but the fast path failed —
+            // unreachable, kept for defensive clarity.
+            self.set_raw(q, (r << META_BITS) | OCCUPIED);
+            self.len += 1;
+            self.counters.record_insert(1, 1);
+            return Ok(());
         };
         let m = self.slots();
         let old_len = Self::span_len(&groups, m).max({
@@ -410,12 +407,9 @@ impl Filter for QuotientFilter {
             self.counters.record_delete(1, 1);
             return false;
         }
-        let (start, mut groups) = match self.decode_span(q) {
-            Some(decoded) => decoded,
-            None => {
-                self.counters.record_delete(1, 1);
-                return false;
-            }
+        let Some((start, mut groups)) = self.decode_span(q) else {
+            self.counters.record_delete(1, 1);
+            return false;
         };
         let _m = self.slots();
         let Some(index) = groups.iter().position(|(gq, _)| *gq == q) else {

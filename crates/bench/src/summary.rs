@@ -25,6 +25,7 @@ pub struct BenchLine {
 /// Lines that don't match the report shape (compiler noise, test output,
 /// blank lines) are ignored. The id is whatever precedes ` time:`, with
 /// the alignment padding trimmed.
+#[must_use]
 pub fn parse_report(output: &str) -> Vec<BenchLine> {
     let mut lines = Vec::new();
     for line in output.lines() {
@@ -70,6 +71,7 @@ fn parse_time_ns(measure: &str) -> Option<f64> {
 ///
 /// Keys are sorted so the committed file diffs cleanly run-to-run; later
 /// duplicates of an id win (a rerun supersedes its earlier line).
+#[must_use]
 pub fn to_json(results: &[BenchLine]) -> String {
     let mut map: Vec<(&str, f64)> = Vec::new();
     for line in results {
@@ -82,8 +84,9 @@ pub fn to_json(results: &[BenchLine]) -> String {
 
     let mut out = String::from("{\n");
     for (i, (id, ns)) in map.iter().enumerate() {
+        use std::fmt::Write as _;
         let comma = if i + 1 < map.len() { "," } else { "" };
-        out.push_str(&format!("  {}: {ns:.1}{comma}\n", json_string(id)));
+        let _ = writeln!(out, "  {}: {ns:.1}{comma}", json_string(id));
     }
     out.push_str("}\n");
     out
@@ -97,7 +100,10 @@ fn json_string(s: &str) -> String {
         match ch {
             '"' => out.push_str("\\\""),
             '\\' => out.push_str("\\\\"),
-            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c if (c as u32) < 0x20 => {
+                use std::fmt::Write as _;
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
             c => out.push(c),
         }
     }

@@ -278,6 +278,9 @@ impl ConcurrentVcf {
     fn lock(&self, bucket: usize) {
         let v = &self.versions[bucket];
         loop {
+            // lint: allow(seqlock-relaxed) — CAS pre-read; the Acquire
+            // success ordering of the compare_exchange below is what
+            // synchronizes, this load only picks the expected value
             let cur = v.load(Ordering::Relaxed);
             if cur & 1 == 0
                 && v.compare_exchange_weak(
@@ -525,6 +528,9 @@ impl ConcurrentVcf {
                 && distinct
                     .iter()
                     .enumerate()
+                    // lint: allow(seqlock-relaxed) — validation re-read paired
+                    // with the fence(Acquire) above (Boehm's seqlock pattern);
+                    // the fence orders the data loads before these reads
                     .all(|(i, &bucket)| self.versions[bucket].load(Ordering::Relaxed) == before[i])
             {
                 self.counters.record_lookup(probes, distinct_len as u64);
@@ -884,7 +890,7 @@ mod tests {
             f.insert(&key(i)).unwrap();
         }
         let keys: Vec<Vec<u8>> = (0..600).map(key).collect();
-        let refs: Vec<&[u8]> = keys.iter().map(|k| k.as_slice()).collect();
+        let refs: Vec<&[u8]> = keys.iter().map(std::vec::Vec::as_slice).collect();
         let batch = f.contains_batch(&refs);
         for (i, k) in refs.iter().enumerate() {
             assert_eq!(batch[i], f.contains(k), "batch diverged at {i}");

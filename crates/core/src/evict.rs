@@ -51,6 +51,7 @@ pub struct BfsPath<V> {
 
 impl<V> BfsPath<V> {
     /// Number of resident relocations the path performs (the kick count).
+    #[must_use]
     pub fn kicks(&self) -> u64 {
         (self.steps.len() - 1) as u64
     }
@@ -104,13 +105,13 @@ pub fn search<V: Copy>(
 
     let mut moves: Vec<(usize, usize, V)> = Vec::new();
     let mut head = 0;
-    while head < nodes.len() {
-        if let Some(slot) = first_empty(nodes[head].bucket) {
+    while let Some(bucket) = nodes.get(head).map(|n| n.bucket) {
+        if let Some(slot) = first_empty(bucket) {
             return Some(reconstruct(&nodes, head, slot));
         }
         if nodes.len() < max_nodes {
             moves.clear();
-            expand(nodes[head].bucket, &mut moves);
+            expand(bucket, &mut moves);
             for &(slot, alt, value) in &moves {
                 if nodes.len() >= max_nodes {
                     break;
@@ -136,6 +137,7 @@ fn reconstruct<V: Copy>(nodes: &[Node<V>], goal: usize, empty_slot: usize) -> Bf
     let mut steps = Vec::new();
     let mut at = goal;
     loop {
+        debug_assert!(at < nodes.len(), "parent links stay within the arena");
         let node = &nodes[at];
         steps.push(PathStep {
             bucket: node.bucket,

@@ -4,6 +4,7 @@
 use crate::config::{CuckooConfig, EvictionPolicy};
 use crate::evict;
 use crate::key;
+use crate::vertical::{masked_candidate, masked_relocate};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use vcf_hash::{HashKind, SplitMix64};
@@ -96,6 +97,8 @@ impl KVcf {
 
         let mut masks = Vec::with_capacity(k);
         masks.push(0u64);
+        // lint: allow(theorem1-confinement) — seed whitening for the mask
+        // generator, not candidate-bucket arithmetic
         let mut gen = SplitMix64::new(config.seed ^ 0x6b76_6366); // "kvcf"
         while masks.len() < k - 1 {
             let candidate = gen.next_u64() & domain;
@@ -176,16 +179,20 @@ impl KVcf {
         )
     }
 
-    /// Equ. 6: candidate bucket `B_e` anchored at `b1`.
+    /// Equ. 6: candidate bucket `B_e` anchored at `b1`. Delegates to
+    /// [`masked_candidate`] so the Theorem-2 arithmetic stays confined
+    /// to `vertical.rs`.
     #[inline]
     fn candidate(&self, b1: usize, hfp: u64, e: usize) -> usize {
-        b1 ^ (hfp & self.masks[e] & self.index_mask) as usize
+        masked_candidate(b1, hfp, self.masks[e], self.index_mask)
     }
 
     /// Equ. 7: move from candidate `g` (bucket `bg`) to candidate `e`.
+    /// Delegates to [`masked_relocate`]; closure over the candidate
+    /// coset is proven (and tested) at the definition site.
     #[inline]
     fn relocate(&self, bg: usize, hfp: u64, g: usize, e: usize) -> usize {
-        bg ^ ((hfp & self.masks[g]) ^ (hfp & self.masks[e])) as usize & self.index_mask as usize
+        masked_relocate(bg, hfp, self.masks[g], self.masks[e], self.index_mask)
     }
 
     /// Places an already-hashed item under the configured policy.
@@ -327,12 +334,12 @@ impl KVcf {
         let hash = self.hash;
         let counters = &self.counters;
         let relocate = |bg: usize, vh: u64, g: usize, e: usize| {
-            bg ^ ((vh & masks[g]) ^ (vh & masks[e])) as usize & index_mask as usize
+            masked_relocate(bg, vh, masks[g], masks[e], index_mask)
         };
         let path = evict::search(
             (0..k).map(|e| {
                 (
-                    b1 ^ (hfp & masks[e] & index_mask) as usize,
+                    masked_candidate(b1, hfp, masks[e], index_mask),
                     MarkedEntry {
                         fingerprint,
                         mark: e as u8,

@@ -55,6 +55,7 @@ mod concurrent;
 mod config;
 mod dvcf;
 mod dynamic;
+/// Breadth-first eviction-path search shared by the cuckoo variants.
 pub mod evict;
 mod kvcf;
 mod sharded;

@@ -470,6 +470,8 @@ impl Filter for VerticalCuckooFilter {
             if tried[..tried_len].contains(&bucket) {
                 continue;
             }
+            // Four candidates at most, so the scratch array cannot fill.
+            debug_assert!(tried_len < tried.len(), "at most 4 distinct candidates");
             tried[tried_len] = bucket;
             tried_len += 1;
             probes += self.table.slots_per_bucket() as u64;

@@ -155,6 +155,42 @@ impl VerticalParams {
     }
 }
 
+/// Equ. 6: candidate bucket `B_e = B_1 ⊕ (hash(η) ∧ bm_e)` of the
+/// generalized k-VCF, reduced to the index domain. `mask` is the
+/// per-candidate fragment mask `bm_e` (the zero mask yields `b1`
+/// itself).
+///
+/// This and [`masked_relocate`] are the *only* places k-VCF bucket
+/// arithmetic may live: Theorem 2 extends Theorem 1's coset-closure
+/// argument to arbitrary mask families, and the proof obligation —
+/// relocation never leaves the candidate set — holds exactly because
+/// every derivation routes through these two expressions.
+#[inline]
+#[must_use]
+pub fn masked_candidate(b1: usize, fingerprint_hash: u64, mask: u64, index_mask: u64) -> usize {
+    b1 ^ (fingerprint_hash & mask & index_mask) as usize
+}
+
+/// Equ. 7: relocation from candidate `g` (bucket `bg`) to candidate `e`
+/// of the generalized k-VCF: `B_e = B_g ⊕ ((hash(η) ∧ bm_g) ⊕
+/// (hash(η) ∧ bm_e))`, reduced to the index domain.
+///
+/// By Theorem 2, composing this with [`masked_candidate`] satisfies
+/// `masked_relocate(masked_candidate(b1, h, bm_g, m), h, bm_g, bm_e, m)
+/// == masked_candidate(b1, h, bm_e, m)` — relocation is closed over the
+/// candidate coset.
+#[inline]
+#[must_use]
+pub fn masked_relocate(
+    bg: usize,
+    fingerprint_hash: u64,
+    mask_g: u64,
+    mask_e: u64,
+    index_mask: u64,
+) -> usize {
+    bg ^ (((fingerprint_hash & mask_g) ^ (fingerprint_hash & mask_e)) & index_mask) as usize
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -271,6 +307,43 @@ mod tests {
             let h = mix64(i);
             let alt = p.cf_alternate(42, h);
             assert_eq!(p.cf_alternate(alt, h), 42);
+        }
+    }
+
+    #[test]
+    fn theorem2_masked_relocation_closure() {
+        // Theorem 2: for any mask family {bm_e}, relocating from
+        // candidate g to candidate e lands exactly on masked_candidate's
+        // bucket for e — the generalized coset is closed.
+        let index_mask = (1u64 << 12) - 1;
+        let masks = [0u64, 0x0f3, 0xa0c, 0x5a5, 0xfff];
+        for i in 0..2000u64 {
+            let h = mix64(i);
+            let b1 = (mix64(i ^ 0xdead) & index_mask) as usize;
+            for g in 0..masks.len() {
+                let bg = masked_candidate(b1, h, masks[g], index_mask);
+                for e in 0..masks.len() {
+                    let via_relocate = masked_relocate(bg, h, masks[g], masks[e], index_mask);
+                    let direct = masked_candidate(b1, h, masks[e], index_mask);
+                    assert_eq!(via_relocate, direct, "h={h:#x} g={g} e={e}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn masked_candidate_generalizes_equ3() {
+        // With the pair masks (0, bm1, bm2, bm1|bm2) the generalized
+        // Equ. 6 reproduces the four Equ. 3 candidates.
+        let p = params();
+        let index_mask = (1u64 << 16) - 1;
+        for i in 0..500u64 {
+            let h = mix64(i);
+            let c = p.candidates(77, h);
+            let family = [0u64, p.mask1(), p.mask2(), p.mask1() | p.mask2()];
+            for (e, &m) in family.iter().enumerate() {
+                assert_eq!(c.buckets[e], masked_candidate(77, h, m, index_mask));
+            }
         }
     }
 

@@ -114,10 +114,7 @@ pub fn run(opts: &ExpOptions) -> Report {
     .mean;
 
     let mut table = Table::new(
-        &format!(
-            "Table I: data-structure comparison (n={n}, target FPR {:.2e})",
-            target_fpr
-        ),
+        &format!("Table I: data-structure comparison (n={n}, target FPR {target_fpr:.2e})"),
         &[
             "structure",
             "bits/item",

@@ -22,7 +22,7 @@ impl Cell {
         match self {
             Cell::Text(s) => s.clone(),
             Cell::Int(v) => v.to_string(),
-            Cell::Float(v, decimals) => format!("{v:.*}", decimals),
+            Cell::Float(v, decimals) => format!("{v:.decimals$}"),
         }
     }
 }

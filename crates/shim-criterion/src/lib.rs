@@ -206,8 +206,9 @@ impl BenchmarkGroup<'_> {
                 Throughput::Bytes(n) => (n, "B/s"),
             };
             if ns > 0.0 {
+                use std::fmt::Write as _;
                 let rate = count as f64 * 1e9 / ns;
-                line.push_str(&format!(" thrpt: [{} {unit}]", fmt_rate(rate)));
+                let _ = write!(line, " thrpt: [{} {unit}]", fmt_rate(rate));
             }
         }
         println!("{line}");

@@ -225,6 +225,8 @@ impl BucketEngine {
     pub fn storage_words(&self, buckets: usize) -> usize {
         buckets
             .checked_mul(self.words_per_bucket)
+            // lint: allow(no-panic-hot-path) — construction-time sizing, not
+            // a query path; overflow is documented under `# Panics`
             .expect("bucket storage size overflows usize")
     }
 
@@ -262,6 +264,10 @@ impl BucketEngine {
     #[inline]
     pub fn read_bucket(&self, words: &[u64], bucket: usize) -> BucketWords {
         let base = bucket * self.words_per_bucket;
+        debug_assert!(
+            base + self.words_per_bucket <= words.len(),
+            "bucket {bucket} out of range"
+        );
         let mut segs = [0u128; MAX_BUCKET_SEGMENTS];
         for (seg, out) in segs.iter_mut().enumerate().take(self.segs) {
             let w = base + seg * self.words_per_seg;
@@ -307,6 +313,7 @@ impl BucketEngine {
     /// Number of occupied slots.
     #[inline]
     pub fn bucket_len(&self, bucket: &BucketWords) -> usize {
+        debug_assert!(self.segs <= MAX_BUCKET_SEGMENTS);
         let mut empty = 0u32;
         for seg in 0..self.segs {
             empty += self

@@ -144,7 +144,11 @@ impl FingerprintTable {
     #[inline]
     pub fn touch_bucket(&self, bucket: usize) {
         debug_assert!(bucket < self.buckets, "bucket {bucket} out of range");
-        std::hint::black_box(self.words[bucket * self.engine.words_per_bucket()]);
+        // `.get()` rather than indexing: a touch hint must never be able
+        // to panic, even on a garbage bucket id in release builds.
+        if let Some(&word) = self.words.get(bucket * self.engine.words_per_bucket()) {
+            std::hint::black_box(word);
+        }
     }
 
     /// Reads the fingerprint in `(bucket, slot)`; `0` means empty.

@@ -42,6 +42,9 @@
 // `prefetch.rs` carries a scoped `#[allow(unsafe_code)]`; everything else
 // in the crate still rejects `unsafe` at compile time.
 #![deny(unsafe_code)]
+// Any future `unsafe fn` must scope each unsafe operation in its own
+// block with its own SAFETY comment (also enforced by `vcf-xtask lint`).
+#![deny(unsafe_op_in_unsafe_fn)]
 #![warn(missing_docs)]
 
 mod atomic_bucket;

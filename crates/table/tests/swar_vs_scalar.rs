@@ -229,8 +229,7 @@ proptest! {
                 _ => {
                     let atomic_removed = atomic
                         .find(bucket, fp)
-                        .map(|slot| atomic.replace_expect(bucket, slot, fp, 0))
-                        .unwrap_or(false);
+                        .is_some_and(|slot| atomic.replace_expect(bucket, slot, fp, 0));
                     let sequential_removed = sequential.remove_one(bucket, fp);
                     prop_assert_eq!(atomic_removed, sequential_removed, "remove diverged");
                 }

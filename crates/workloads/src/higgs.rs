@@ -51,13 +51,14 @@ impl HiggsRecord {
     /// comma-separated decimal form a CSV reader of the real dataset would
     /// hand over.
     pub fn to_key(&self) -> Vec<u8> {
+        use std::fmt::Write as _;
         let mut out = String::with_capacity(MERGED_FEATURES * 10);
         for (i, v) in self.features.iter().enumerate() {
             if i > 0 {
                 out.push(',');
             }
             // Fixed precision mirrors the dataset's textual encoding.
-            out.push_str(&format!("{v:.6}"));
+            let _ = write!(out, "{v:.6}");
         }
         out.into_bytes()
     }

@@ -1,0 +1,67 @@
+//! Diagnostics: the one output type every rule produces, with text and
+//! JSON renderings.
+
+use crate::json::Value;
+
+/// A single rule violation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Diagnostic {
+    /// Stable rule id, e.g. `no-panic-hot-path`.
+    pub rule: &'static str,
+    /// Workspace-relative path with `/` separators.
+    pub file: String,
+    /// 1-based line.
+    pub line: u32,
+    /// 1-based column.
+    pub col: u32,
+    /// What is wrong.
+    pub message: String,
+    /// How to fix it (or how to waive it, when a waiver is legitimate).
+    pub hint: String,
+}
+
+impl Diagnostic {
+    /// `file:line:col [rule] message` plus an indented hint line.
+    pub fn render_text(&self) -> String {
+        format!(
+            "{}:{}:{} [{}] {}\n  hint: {}",
+            self.file, self.line, self.col, self.rule, self.message, self.hint
+        )
+    }
+
+    /// The diagnostic as a JSON object.
+    pub fn to_json(&self) -> Value {
+        Value::Obj(vec![
+            ("rule".into(), Value::Str(self.rule.into())),
+            ("file".into(), Value::Str(self.file.clone())),
+            ("line".into(), Value::Num(f64::from(self.line))),
+            ("col".into(), Value::Num(f64::from(self.col))),
+            ("message".into(), Value::Str(self.message.clone())),
+            ("hint".into(), Value::Str(self.hint.clone())),
+        ])
+    }
+}
+
+/// Renders the machine-readable report for `--json` mode.
+pub fn report_json(diags: &[Diagnostic], checked_files: usize, rules: &[&str]) -> String {
+    Value::Obj(vec![
+        ("version".into(), Value::Num(1.0)),
+        ("checked_files".into(), Value::Num(checked_files as f64)),
+        (
+            "rules".into(),
+            Value::Arr(rules.iter().map(|r| Value::Str((*r).into())).collect()),
+        ),
+        (
+            "diagnostics".into(),
+            Value::Arr(diags.iter().map(Diagnostic::to_json).collect()),
+        ),
+    ])
+    .render()
+}
+
+/// Orders diagnostics for stable output: by file, line, column, rule.
+pub fn sort(diags: &mut [Diagnostic]) {
+    diags.sort_by(|a, b| {
+        (a.file.as_str(), a.line, a.col, a.rule).cmp(&(b.file.as_str(), b.line, b.col, b.rule))
+    });
+}

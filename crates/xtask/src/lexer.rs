@@ -1,0 +1,381 @@
+//! A hand-rolled Rust tokenizer — just enough lexical structure for the
+//! invariant rules, with no external dependencies (the workspace builds
+//! offline, so `syn`/`proc-macro2` are not an option).
+//!
+//! The lexer is lossless about *placement* (every token carries its byte
+//! span, line, and column) and deliberately sloppy about *semantics*: it
+//! distinguishes identifiers, literals, comments, and single-character
+//! punctuation, which is all the pattern rules need. Multi-character
+//! operators appear as adjacent `Punct` tokens (`^=` is `^` then `=`),
+//! so rules match token *sequences* rather than operator kinds.
+//!
+//! What it gets right, because the rules depend on it:
+//!
+//! * comments and string/char literals never leak into code tokens — a
+//!   rule matching `Ordering` cannot be fooled by `"Ordering::Relaxed"`
+//!   in a string or a doc comment;
+//! * raw strings (`r#"…"#`, any hash depth, `b`/`br` prefixes) and
+//!   nested block comments are consumed whole;
+//! * lifetimes (`'a`) are not confused with char literals (`'a'`).
+
+/// Lexical class of a [`Token`].
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum TokenKind {
+    /// Identifier or keyword (the lexer does not separate the two).
+    Ident,
+    /// Lifetime such as `'a` or `'static`.
+    Lifetime,
+    /// Numeric literal (integer or float, any base).
+    Number,
+    /// String literal of any flavour: `"…"`, `r"…"`, `r#"…"#`, `b"…"`.
+    Str,
+    /// Character or byte-character literal: `'x'`, `b'\n'`.
+    CharLit,
+    /// A single punctuation character.
+    Punct,
+    /// `// …` comment, plain (`//`), outer doc (`///`), or inner (`//!`).
+    LineComment,
+    /// `/* … */` comment, plain or doc, nesting handled.
+    BlockComment,
+}
+
+/// One lexed token with its source placement.
+#[derive(Clone, Copy, Debug)]
+pub struct Token {
+    /// Lexical class.
+    pub kind: TokenKind,
+    /// Byte offset of the first byte, inclusive.
+    pub start: usize,
+    /// Byte offset past the last byte, exclusive.
+    pub end: usize,
+    /// 1-based line of the first byte.
+    pub line: u32,
+    /// 1-based byte column of the first byte.
+    pub col: u32,
+}
+
+impl Token {
+    /// The token's text within `src` (the string it was lexed from).
+    pub fn text<'a>(&self, src: &'a str) -> &'a str {
+        &src[self.start..self.end]
+    }
+}
+
+fn is_ident_start(c: u8) -> bool {
+    c.is_ascii_alphabetic() || c == b'_' || c >= 0x80
+}
+
+fn is_ident_continue(c: u8) -> bool {
+    c.is_ascii_alphanumeric() || c == b'_' || c >= 0x80
+}
+
+/// Consumes a raw-string body starting at the opening quote position,
+/// given the number of `#`s in the opener. Returns the end offset
+/// (past the closing quote and hashes).
+fn raw_string_end(b: &[u8], open_quote: usize, hashes: usize) -> usize {
+    let mut i = open_quote + 1;
+    while i < b.len() {
+        if b[i] == b'"'
+            && b[i + 1..].len() >= hashes
+            && b[i + 1..i + 1 + hashes].iter().all(|&c| c == b'#')
+        {
+            return i + 1 + hashes;
+        }
+        i += 1;
+    }
+    b.len()
+}
+
+/// Tokenizes `src`. Never fails: unrecognized bytes become `Punct`.
+pub fn lex(src: &str) -> Vec<Token> {
+    let b = src.as_bytes();
+    let mut tokens = Vec::new();
+    let mut i = 0usize;
+    let mut line = 1u32;
+    let mut col = 1u32;
+
+    while i < b.len() {
+        let start = i;
+        let (tline, tcol) = (line, col);
+        let c = b[i];
+
+        let kind = if c.is_ascii_whitespace() {
+            i += 1;
+            advance(b, start, i, &mut line, &mut col);
+            continue;
+        } else if c == b'/' && i + 1 < b.len() && b[i + 1] == b'/' {
+            while i < b.len() && b[i] != b'\n' {
+                i += 1;
+            }
+            TokenKind::LineComment
+        } else if c == b'/' && i + 1 < b.len() && b[i + 1] == b'*' {
+            let mut depth = 1usize;
+            i += 2;
+            while i < b.len() && depth > 0 {
+                if b[i] == b'/' && i + 1 < b.len() && b[i + 1] == b'*' {
+                    depth += 1;
+                    i += 2;
+                } else if b[i] == b'*' && i + 1 < b.len() && b[i + 1] == b'/' {
+                    depth -= 1;
+                    i += 2;
+                } else {
+                    i += 1;
+                }
+            }
+            TokenKind::BlockComment
+        } else if c == b'"' {
+            i = string_end(b, i);
+            TokenKind::Str
+        } else if (c == b'b' || c == b'r' || c == b'c')
+            && i + 1 < b.len()
+            && literal_prefix(b, i).is_some()
+        {
+            let (end, kind) = literal_prefix(b, i).unwrap_or((i + 1, TokenKind::Ident));
+            i = end;
+            kind
+        } else if is_ident_start(c) {
+            i += 1;
+            while i < b.len() && is_ident_continue(b[i]) {
+                i += 1;
+            }
+            TokenKind::Ident
+        } else if c.is_ascii_digit() {
+            i += 1;
+            let mut seen_dot = false;
+            while i < b.len() {
+                if is_ident_continue(b[i]) {
+                    i += 1;
+                } else if b[i] == b'.' && !seen_dot && i + 1 < b.len() && b[i + 1].is_ascii_digit()
+                {
+                    seen_dot = true;
+                    i += 1;
+                } else {
+                    break;
+                }
+            }
+            TokenKind::Number
+        } else if c == b'\'' {
+            let (end, kind) = char_or_lifetime(b, i);
+            i = end;
+            kind
+        } else {
+            i += 1;
+            TokenKind::Punct
+        };
+
+        advance(b, start, i, &mut line, &mut col);
+        tokens.push(Token {
+            kind,
+            start,
+            end: i,
+            line: tline,
+            col: tcol,
+        });
+    }
+    tokens
+}
+
+fn advance(b: &[u8], from: usize, to: usize, line: &mut u32, col: &mut u32) {
+    for &c in &b[from..to] {
+        if c == b'\n' {
+            *line += 1;
+            *col = 1;
+        } else {
+            *col += 1;
+        }
+    }
+}
+
+/// End offset of a conventional (escapable) string literal whose opening
+/// quote is at `open`.
+fn string_end(b: &[u8], open: usize) -> usize {
+    let mut i = open + 1;
+    while i < b.len() {
+        match b[i] {
+            b'\\' => i += 2,
+            b'"' => return i + 1,
+            _ => i += 1,
+        }
+    }
+    b.len()
+}
+
+/// Handles `b`/`r`/`c`-prefixed literals and raw identifiers starting at
+/// `i`. Returns `(end, kind)` when position `i` starts such a literal,
+/// `None` when it is a plain identifier beginning with that letter.
+fn literal_prefix(b: &[u8], i: usize) -> Option<(usize, TokenKind)> {
+    let c = b[i];
+    // b'x' — byte character.
+    if c == b'b' && b.get(i + 1) == Some(&b'\'') {
+        let (end, _) = char_or_lifetime(b, i + 1);
+        return Some((end, TokenKind::CharLit));
+    }
+    // b"…" / c"…" — byte / C string.
+    if (c == b'b' || c == b'c') && b.get(i + 1) == Some(&b'"') {
+        return Some((string_end(b, i + 1), TokenKind::Str));
+    }
+    // br#…"…"#… — raw byte string.
+    if c == b'b' && b.get(i + 1) == Some(&b'r') {
+        let mut j = i + 2;
+        while b.get(j) == Some(&b'#') {
+            j += 1;
+        }
+        if b.get(j) == Some(&b'"') {
+            return Some((raw_string_end(b, j, j - (i + 2)), TokenKind::Str));
+        }
+        return None;
+    }
+    if c == b'r' {
+        // r#…"…"#… — raw string; r#ident — raw identifier.
+        let mut j = i + 1;
+        while b.get(j) == Some(&b'#') {
+            j += 1;
+        }
+        if b.get(j) == Some(&b'"') {
+            return Some((raw_string_end(b, j, j - (i + 1)), TokenKind::Str));
+        }
+        if j > i + 1 && b.get(j).copied().is_some_and(is_ident_start) {
+            let mut k = j + 1;
+            while k < b.len() && is_ident_continue(b[k]) {
+                k += 1;
+            }
+            return Some((k, TokenKind::Ident));
+        }
+    }
+    None
+}
+
+/// Disambiguates `'a'` (char) from `'a` (lifetime) at a `'` byte.
+fn char_or_lifetime(b: &[u8], i: usize) -> (usize, TokenKind) {
+    match b.get(i + 1) {
+        // '\n', '\'', '\u{1F600}' — escaped char literal.
+        Some(b'\\') => {
+            let mut j = i + 2;
+            while j < b.len() {
+                match b[j] {
+                    b'\\' => j += 2,
+                    b'\'' => return (j + 1, TokenKind::CharLit),
+                    _ => j += 1,
+                }
+            }
+            (b.len(), TokenKind::CharLit)
+        }
+        Some(&n) if is_ident_continue(n) => {
+            let mut j = i + 2;
+            while j < b.len() && is_ident_continue(b[j]) {
+                j += 1;
+            }
+            if b.get(j) == Some(&b'\'') {
+                (j + 1, TokenKind::CharLit)
+            } else {
+                (j, TokenKind::Lifetime)
+            }
+        }
+        // Unusual char like '(' — only valid as '(', consume to close.
+        Some(_) if b.get(i + 2) == Some(&b'\'') => (i + 3, TokenKind::CharLit),
+        _ => (i + 1, TokenKind::Punct),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokenKind, String)> {
+        lex(src)
+            .iter()
+            .map(|t| (t.kind, t.text(src).to_owned()))
+            .collect()
+    }
+
+    #[test]
+    fn idents_numbers_puncts() {
+        let toks = kinds("let x = a1 ^ 0xff;");
+        let texts: Vec<&str> = toks.iter().map(|(_, t)| t.as_str()).collect();
+        assert_eq!(texts, ["let", "x", "=", "a1", "^", "0xff", ";"]);
+        assert_eq!(toks[4].0, TokenKind::Punct);
+        assert_eq!(toks[5].0, TokenKind::Number);
+    }
+
+    #[test]
+    fn strings_do_not_leak_code() {
+        let toks = kinds(r#"call("Ordering::Relaxed ^ bucket") ^ x"#);
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokenKind::Str && t.contains("Relaxed")));
+        let idents: Vec<&str> = toks
+            .iter()
+            .filter(|(k, _)| *k == TokenKind::Ident)
+            .map(|(_, t)| t.as_str())
+            .collect();
+        assert_eq!(idents, ["call", "x"]);
+    }
+
+    #[test]
+    fn raw_strings_any_hash_depth() {
+        let src = "let s = r##\"quote \"# inside\"##; done";
+        let toks = kinds(src);
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokenKind::Str && t.contains("inside")));
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokenKind::Ident && t == "done"));
+    }
+
+    #[test]
+    fn lifetimes_vs_char_literals() {
+        let toks = kinds("fn f<'a>(x: &'a str) { let c = 'a'; let n = '\\n'; }");
+        let lifetimes = toks
+            .iter()
+            .filter(|(k, _)| *k == TokenKind::Lifetime)
+            .count();
+        let chars = toks
+            .iter()
+            .filter(|(k, _)| *k == TokenKind::CharLit)
+            .count();
+        assert_eq!(lifetimes, 2);
+        assert_eq!(chars, 2);
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let toks = kinds("a /* outer /* inner */ still */ b");
+        let idents: Vec<&str> = toks
+            .iter()
+            .filter(|(k, _)| *k == TokenKind::Ident)
+            .map(|(_, t)| t.as_str())
+            .collect();
+        assert_eq!(idents, ["a", "b"]);
+    }
+
+    #[test]
+    fn lines_and_columns_are_one_based() {
+        let src = "ab\n  cd";
+        let toks = lex(src);
+        assert_eq!((toks[0].line, toks[0].col), (1, 1));
+        assert_eq!((toks[1].line, toks[1].col), (2, 3));
+    }
+
+    #[test]
+    fn doc_and_plain_comments_keep_text() {
+        let src = "/// outer doc\n//! inner\n// SAFETY: fine\nfn x() {}";
+        let toks = lex(src);
+        let comments: Vec<&str> = toks
+            .iter()
+            .filter(|t| t.kind == TokenKind::LineComment)
+            .map(|t| t.text(src))
+            .collect();
+        assert_eq!(comments.len(), 3);
+        assert!(comments[2].contains("SAFETY:"));
+    }
+
+    #[test]
+    fn byte_and_raw_identifiers() {
+        let toks = kinds("r#type b'\\n' br#\"raw\"# b\"bytes\"");
+        assert_eq!(toks[0].0, TokenKind::Ident);
+        assert_eq!(toks[1].0, TokenKind::CharLit);
+        assert_eq!(toks[2].0, TokenKind::Str);
+        assert_eq!(toks[3].0, TokenKind::Str);
+    }
+}

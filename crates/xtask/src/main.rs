@@ -1,0 +1,127 @@
+//! CLI for the workspace invariant linter.
+//!
+//! ```text
+//! vcf-xtask lint [--json] [--root PATH] [--rule ID]
+//! vcf-xtask rules
+//! ```
+//!
+//! Exit codes: 0 clean, 1 violations found, 2 usage or I/O error.
+
+#![forbid(unsafe_code)]
+
+use std::path::PathBuf;
+use vcf_xtask::{diag, rules, LintContext};
+
+fn main() {
+    std::process::exit(real_main());
+}
+
+fn real_main() -> i32 {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("lint") => lint(&args[1..]),
+        Some("rules") => {
+            list_rules();
+            0
+        }
+        _ => {
+            eprintln!("{USAGE}");
+            2
+        }
+    }
+}
+
+const USAGE: &str =
+    "usage: vcf-xtask lint [--json] [--root PATH] [--rule ID]\n       vcf-xtask rules";
+
+fn lint(args: &[String]) -> i32 {
+    let mut json = false;
+    let mut root: Option<PathBuf> = None;
+    let mut rule: Option<String> = None;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--json" => json = true,
+            "--root" => match it.next() {
+                Some(p) => root = Some(PathBuf::from(p)),
+                None => return usage_error("--root needs a path"),
+            },
+            "--rule" => match it.next() {
+                Some(r) => rule = Some(r.clone()),
+                None => return usage_error("--rule needs a rule id"),
+            },
+            other => return usage_error(&format!("unknown argument `{other}`")),
+        }
+    }
+    let Some(root) = root.or_else(find_workspace_root) else {
+        eprintln!("error: not inside a workspace (no Cargo.toml + crates/ found); use --root");
+        return 2;
+    };
+    let ctx = match LintContext::load(&root) {
+        Ok(ctx) => ctx,
+        Err(e) => {
+            eprintln!("error: failed to load workspace at {}: {e}", root.display());
+            return 2;
+        }
+    };
+    let diags = match ctx.run(rule.as_deref()) {
+        Ok(d) => d,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return 2;
+        }
+    };
+    let rule_ids: Vec<&str> = rules::all_rules().iter().map(|r| r.id()).collect();
+    if json {
+        print!("{}", diag::report_json(&diags, ctx.files.len(), &rule_ids));
+    } else if diags.is_empty() {
+        println!(
+            "lint clean: {} files checked against {} rules",
+            ctx.files.len(),
+            rule_ids.len()
+        );
+    } else {
+        for d in &diags {
+            println!("{}", d.render_text());
+        }
+        println!(
+            "\n{} violation(s) across {} files",
+            diags.len(),
+            ctx.files.len()
+        );
+    }
+    i32::from(!diags.is_empty())
+}
+
+fn usage_error(msg: &str) -> i32 {
+    eprintln!("error: {msg}\n{USAGE}");
+    2
+}
+
+fn list_rules() {
+    for rule in rules::all_rules() {
+        println!("{:<22} {}", rule.id(), rule.summary());
+    }
+    println!(
+        "{:<22} waivers must be well-formed with a reason",
+        "lint-waiver"
+    );
+    println!(
+        "{:<22} waivers must still suppress something",
+        "stale-waiver"
+    );
+}
+
+/// Ascends from the current directory to the first dir holding both a
+/// `Cargo.toml` and a `crates/` directory.
+fn find_workspace_root() -> Option<PathBuf> {
+    let mut dir = std::env::current_dir().ok()?;
+    loop {
+        if dir.join("Cargo.toml").is_file() && dir.join("crates").is_dir() {
+            return Some(dir);
+        }
+        if !dir.pop() {
+            return None;
+        }
+    }
+}

@@ -1,0 +1,99 @@
+//! `crate-unsafe-attr`: every crate root pins its unsafe-code policy.
+//!
+//! A crate either forbids unsafe outright, or — when it legitimately
+//! needs it (the prefetch intrinsic in `vcf-table`) — denies it by
+//! default and denies `unsafe_op_in_unsafe_fn` so each unsafe
+//! operation is individually scoped and justified.
+
+use super::Rule;
+use crate::diag::Diagnostic;
+use crate::source::SourceFile;
+
+/// Flags crate roots (`src/lib.rs`, `src/main.rs`) missing the unsafe
+/// policy attributes.
+pub struct CrateUnsafeAttr;
+
+impl Rule for CrateUnsafeAttr {
+    fn id(&self) -> &'static str {
+        "crate-unsafe-attr"
+    }
+
+    fn summary(&self) -> &'static str {
+        "crate roots carry #![forbid(unsafe_code)] or deny(unsafe_code) + deny(unsafe_op_in_unsafe_fn)"
+    }
+
+    fn check_file(&self, file: &SourceFile, out: &mut Vec<Diagnostic>) {
+        let is_root = file.rel.ends_with("/src/lib.rs")
+            || file.rel.ends_with("/src/main.rs")
+            || file.rel == "src/lib.rs"
+            || file.rel == "src/main.rs";
+        if !is_root {
+            return;
+        }
+        let mut forbid_unsafe = false;
+        let mut deny_unsafe = false;
+        let mut deny_unsafe_op = false;
+        for (level, args) in inner_lint_attrs(file) {
+            let strict = level == "forbid" || level == "deny";
+            if !strict {
+                continue;
+            }
+            if args.iter().any(|a| a == "unsafe_code") {
+                if level == "forbid" {
+                    forbid_unsafe = true;
+                } else {
+                    deny_unsafe = true;
+                }
+            }
+            if args.iter().any(|a| a == "unsafe_op_in_unsafe_fn") {
+                deny_unsafe_op = true;
+            }
+        }
+        if forbid_unsafe || (deny_unsafe && deny_unsafe_op) {
+            return;
+        }
+        let (message, hint) = if deny_unsafe {
+            (
+                "crate denies unsafe_code but not unsafe_op_in_unsafe_fn".to_owned(),
+                "add `#![deny(unsafe_op_in_unsafe_fn)]` so unsafe fns scope each unsafe op",
+            )
+        } else {
+            (
+                "crate root does not pin an unsafe-code policy".to_owned(),
+                "add `#![forbid(unsafe_code)]` (or, for a crate that needs unsafe, \
+                 `#![deny(unsafe_code)]` + `#![deny(unsafe_op_in_unsafe_fn)]`)",
+            )
+        };
+        out.push(Diagnostic {
+            rule: self.id(),
+            file: file.rel.clone(),
+            line: 1,
+            col: 1,
+            message,
+            hint: hint.to_owned(),
+        });
+    }
+}
+
+/// Collects inner attributes of the form `#![level(arg, …)]`, returning
+/// `(level, args)` pairs.
+fn inner_lint_attrs(file: &SourceFile) -> Vec<(String, Vec<String>)> {
+    let mut attrs = Vec::new();
+    let mut k = 0usize;
+    while k + 2 < file.code.len() {
+        if !(file.code_tok(k) == "#" && file.code_tok(k + 1) == "!" && file.code_tok(k + 2) == "[")
+        {
+            k += 1;
+            continue;
+        }
+        let close = file.matching_close(k + 2);
+        let inner: Vec<String> = (k + 3..close)
+            .map(|j| file.code_tok(j).to_owned())
+            .collect();
+        if inner.len() >= 2 && inner[1] == "(" {
+            attrs.push((inner[0].clone(), inner[2..].to_vec()));
+        }
+        k = close + 1;
+    }
+    attrs
+}

@@ -1,0 +1,182 @@
+//! `missing-docs-public`: every `pub` item in the API crates carries a
+//! doc comment.
+//!
+//! This duplicates rustc's `missing_docs` on purpose: the compiler lint
+//! is per-crate opt-in and silently vanishes when a crate root forgets
+//! the attribute, whereas this rule is pinned to the crate list in
+//! [`super::DOCS_CRATES`] and fails CI.
+
+use super::{Rule, DOCS_CRATES};
+use crate::diag::Diagnostic;
+use crate::lexer::TokenKind;
+use crate::source::SourceFile;
+
+/// Item keywords a `pub` can introduce.
+const ITEM_KEYWORDS: &[&str] = &[
+    "fn", "struct", "enum", "trait", "mod", "type", "static", "const", "union", "macro",
+];
+
+/// Flags undocumented `pub` items (and fields) in the API crates.
+pub struct MissingDocsPublic;
+
+impl Rule for MissingDocsPublic {
+    fn id(&self) -> &'static str {
+        "missing-docs-public"
+    }
+
+    fn summary(&self) -> &'static str {
+        "every public item in vcf-core / vcf-table / vcf-traits has a doc comment"
+    }
+
+    fn check_file(&self, file: &SourceFile, out: &mut Vec<Diagnostic>) {
+        if !DOCS_CRATES.iter().any(|p| file.rel.starts_with(p)) {
+            return;
+        }
+        let macro_spans = macro_rules_spans(file);
+        for k in 0..file.code.len() {
+            if file.code_tok(k) != "pub" {
+                continue;
+            }
+            let tok = file.tokens[file.code[k]];
+            if file.is_test_line(tok.line)
+                || macro_spans
+                    .iter()
+                    .any(|&(a, z)| a <= tok.line && tok.line <= z)
+            {
+                continue;
+            }
+            // `pub(crate)` / `pub(super)` / `pub(in …)` are not public API.
+            if file
+                .code
+                .get(k + 1)
+                .is_some_and(|&j| file.tokens[j].text(&file.text) == "(")
+            {
+                continue;
+            }
+            // Skip modifiers to find what the `pub` introduces.
+            let mut m = k + 1;
+            loop {
+                match file.code.get(m).map(|&j| file.tokens[j]) {
+                    Some(t) if t.kind == TokenKind::Str => m += 1, // extern "C"
+                    Some(t) if t.kind == TokenKind::Ident => {
+                        let text = file.tok(file.code[m]);
+                        let is_const_fn = text == "const"
+                            && file
+                                .code
+                                .get(m + 1)
+                                .is_some_and(|&j| file.tokens[j].text(&file.text) == "fn");
+                        if matches!(text, "unsafe" | "async" | "extern") || is_const_fn {
+                            m += 1;
+                        } else {
+                            break;
+                        }
+                    }
+                    _ => break,
+                }
+            }
+            let Some(&intro_j) = file.code.get(m) else {
+                continue;
+            };
+            let intro = file.tokens[intro_j].text(&file.text);
+            // Re-exports are documented at the definition site.
+            if intro == "use" || intro == "extern" {
+                continue;
+            }
+            let what = if ITEM_KEYWORDS.contains(&intro) {
+                let name = file
+                    .code
+                    .get(m + 1)
+                    .map_or("_", |&j| file.tokens[j].text(&file.text));
+                format!("{intro} `{name}`")
+            } else if file.tokens[intro_j].kind == TokenKind::Ident {
+                format!("field `{intro}`")
+            } else {
+                continue;
+            };
+            if has_doc(file, file.code[k]) {
+                continue;
+            }
+            out.push(Diagnostic {
+                rule: self.id(),
+                file: file.rel.clone(),
+                line: tok.line,
+                col: tok.col,
+                message: format!("public {what} has no doc comment"),
+                hint: "add a `///` comment saying what it is and any invariants callers rely on"
+                    .to_owned(),
+            });
+        }
+    }
+}
+
+/// Walks backwards from the `pub` token across attributes and plain
+/// comments, looking for an outer doc comment (or a `#[doc = …]`
+/// attribute).
+fn has_doc(file: &SourceFile, pub_tok_idx: usize) -> bool {
+    let mut j = pub_tok_idx;
+    while j > 0 {
+        j -= 1;
+        let tok = file.tokens[j];
+        let text = tok.text(&file.text);
+        match tok.kind {
+            TokenKind::LineComment => {
+                if text.starts_with("///") {
+                    return true;
+                }
+                // Plain `//` comment between docs and item: keep looking.
+            }
+            TokenKind::BlockComment => {
+                if text.starts_with("/**") {
+                    return true;
+                }
+            }
+            TokenKind::Punct if text == "]" => {
+                // Skip the attribute backwards; `#[doc = "…"]` counts.
+                let mut depth = 1usize;
+                let mut saw_doc = false;
+                while j > 0 && depth > 0 {
+                    j -= 1;
+                    match file.tokens[j].text(&file.text) {
+                        "]" => depth += 1,
+                        "[" => depth -= 1,
+                        "doc" => saw_doc = true,
+                        _ => {}
+                    }
+                }
+                if saw_doc {
+                    return true;
+                }
+                if j > 0 && file.tokens[j - 1].text(&file.text) == "#" {
+                    j -= 1;
+                }
+            }
+            _ => return false,
+        }
+    }
+    false
+}
+
+/// Line spans of `macro_rules!` definitions — `pub` tokens inside a
+/// macro body are expansion templates, not items.
+fn macro_rules_spans(file: &SourceFile) -> Vec<(u32, u32)> {
+    let mut spans = Vec::new();
+    for k in 0..file.code.len() {
+        if file.code_tok(k) != "macro_rules" {
+            continue;
+        }
+        // macro_rules ! name { … }
+        let mut j = k + 1;
+        while j < file.code.len() && file.code_tok(j) != "{" {
+            j += 1;
+        }
+        if j >= file.code.len() {
+            continue;
+        }
+        let close = file.matching_close(j);
+        spans.push((
+            file.tokens[file.code[k]].line,
+            file.tokens[file.code[close]].line,
+        ));
+    }
+    spans
+}

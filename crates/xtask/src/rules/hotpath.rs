@@ -1,0 +1,148 @@
+//! `no-panic-hot-path`: lookup/insert hot paths must not panic.
+//!
+//! The filter's selling point is bounded, predictable latency; an
+//! `unwrap` in `bucket.rs` turns a logic error into an abort in the
+//! middle of a query storm. Raw `[]` indexing is allowed only when it
+//! provably (well, reviewably) cannot panic:
+//!
+//! * the index is a literal (`steps[0]`) — fixed-size array, checked by
+//!   the compiler when the length is known;
+//! * the index is a range (`steps[1..]`) — slicing idiom, bounds still
+//!   checked but used for windows whose bounds come straight from
+//!   `len()`;
+//! * the enclosing function carries a `debug_assert!` — the workspace's
+//!   established SWAR-kernel idiom: assert the bound in debug, elide in
+//!   release.
+//!
+//! Anything else needs `.get()` or a waiver with a written bound.
+
+use super::{Rule, HOT_PATH_MODULES};
+use crate::diag::Diagnostic;
+use crate::lexer::TokenKind;
+use crate::source::SourceFile;
+
+/// Identifier-shaped keywords that may precede `[` without it being an
+/// index expression (`let [a, b] = …`, `match [x, y] { … }`).
+const NON_INDEX_KEYWORDS: &[&str] = &[
+    "let", "mut", "ref", "in", "match", "if", "else", "return", "break", "continue", "move", "box",
+    "dyn", "impl", "for", "where", "as", "const", "static", "use",
+];
+
+/// Panic-family macros (besides `.unwrap()`/`.expect()`).
+const PANIC_MACROS: &[&str] = &["panic", "unreachable", "todo", "unimplemented"];
+
+/// Flags panicking constructs in [`HOT_PATH_MODULES`] outside
+/// `#[cfg(test)]`.
+pub struct NoPanicHotPath;
+
+impl Rule for NoPanicHotPath {
+    fn id(&self) -> &'static str {
+        "no-panic-hot-path"
+    }
+
+    fn summary(&self) -> &'static str {
+        "no unwrap/expect/panic!/raw indexing in hot-path modules (debug_assert idiom excepted)"
+    }
+
+    fn check_file(&self, file: &SourceFile, out: &mut Vec<Diagnostic>) {
+        if !HOT_PATH_MODULES.contains(&file.rel.as_str()) {
+            return;
+        }
+        for k in 0..file.code.len() {
+            let tok = file.tokens[file.code[k]];
+            if file.is_test_line(tok.line) {
+                continue;
+            }
+            let text = file.tok(file.code[k]);
+            let prev = k.checked_sub(1).map_or("", |p| file.code_tok(p));
+            let next = file
+                .code
+                .get(k + 1)
+                .map_or("", |&j| file.tokens[j].text(&file.text));
+
+            // `.unwrap()` / `.expect(…)`
+            if (text == "unwrap" || text == "expect") && prev == "." && next == "(" {
+                out.push(self.diag(
+                    file,
+                    tok.line,
+                    tok.col,
+                    format!("`.{text}()` in a hot-path module"),
+                    "return the error/Option to the caller or use `.get()`; cold paths may \
+                     waive with `// lint: allow(no-panic-hot-path) \u{2014} <why unreachable>`",
+                ));
+                continue;
+            }
+
+            // `panic!` / `unreachable!` / `todo!` / `unimplemented!`
+            if PANIC_MACROS.contains(&text) && next == "!" {
+                out.push(self.diag(
+                    file,
+                    tok.line,
+                    tok.col,
+                    format!("`{text}!` in a hot-path module"),
+                    "hot paths must be panic-free; encode the failure in the return type",
+                ));
+                continue;
+            }
+
+            // Raw indexing: `expr[…]` where expr ends in an identifier,
+            // `)`, or `]`.
+            if text == "["
+                && (prev == ")"
+                    || prev == "]"
+                    || (k > 0
+                        && file.tokens[file.code[k - 1]].kind == TokenKind::Ident
+                        && !NON_INDEX_KEYWORDS.contains(&prev)))
+                && !self.index_is_dispensed(file, k, tok.line)
+            {
+                out.push(self.diag(
+                    file,
+                    tok.line,
+                    tok.col,
+                    "raw `[]` indexing with an unchecked dynamic index".to_owned(),
+                    "use `.get()`, index with a literal/range, or `debug_assert!` the bound \
+                     in the enclosing fn (the SWAR-kernel idiom)",
+                ));
+            }
+        }
+    }
+}
+
+impl NoPanicHotPath {
+    fn diag(
+        &self,
+        file: &SourceFile,
+        line: u32,
+        col: u32,
+        message: String,
+        hint: &str,
+    ) -> Diagnostic {
+        Diagnostic {
+            rule: self.id(),
+            file: file.rel.clone(),
+            line,
+            col,
+            message,
+            hint: hint.to_owned(),
+        }
+    }
+
+    /// The dispensations: literal index, range index, or a
+    /// `debug_assert` in the enclosing fn.
+    fn index_is_dispensed(&self, file: &SourceFile, open_k: usize, line: u32) -> bool {
+        let close_k = file.matching_close(open_k);
+        let inner: Vec<usize> = (open_k + 1..close_k).collect();
+        // Single numeric literal.
+        if inner.len() == 1 && file.tokens[file.code[inner[0]]].kind == TokenKind::Number {
+            return true;
+        }
+        // Contains a `..` range.
+        if inner
+            .windows(2)
+            .any(|w| file.code_tok(w[0]) == "." && file.code_tok(w[1]) == ".")
+        {
+            return true;
+        }
+        file.enclosing_fn(line).is_some_and(|f| f.has_debug_assert)
+    }
+}

@@ -1,0 +1,83 @@
+//! `safety-comment`: every `unsafe` site must state why it is sound.
+
+use super::Rule;
+use crate::diag::Diagnostic;
+use crate::lexer::TokenKind;
+use crate::source::SourceFile;
+
+/// How many lines above an `unsafe` block we search for `// SAFETY:`.
+const BLOCK_WINDOW: u32 = 6;
+/// How many lines above an `unsafe fn`/`unsafe impl` we search — doc
+/// blocks with a `# Safety` section can be long.
+const ITEM_WINDOW: u32 = 24;
+
+/// Flags `unsafe` tokens (outside `#[cfg(test)]`) with no `SAFETY`
+/// comment nearby; `unsafe fn` may alternatively carry a `# Safety`
+/// doc section.
+pub struct SafetyComment;
+
+impl Rule for SafetyComment {
+    fn id(&self) -> &'static str {
+        "safety-comment"
+    }
+
+    fn summary(&self) -> &'static str {
+        "every `unsafe` block, fn, or impl carries a `// SAFETY:` justification"
+    }
+
+    fn check_file(&self, file: &SourceFile, out: &mut Vec<Diagnostic>) {
+        for (k, &ti) in file.code.iter().enumerate() {
+            let tok = file.tokens[ti];
+            if tok.kind != TokenKind::Ident || file.tok(ti) != "unsafe" {
+                continue;
+            }
+            if file.is_test_line(tok.line) {
+                continue;
+            }
+            let next = file.code.get(k + 1).map_or("", |&j| file.tok(j));
+            let is_item = matches!(next, "fn" | "trait" | "impl");
+            let window = if is_item { ITEM_WINDOW } else { BLOCK_WINDOW };
+            if has_safety_note(file, tok.line, window, is_item) {
+                continue;
+            }
+            out.push(Diagnostic {
+                rule: self.id(),
+                file: file.rel.clone(),
+                line: tok.line,
+                col: tok.col,
+                message: format!(
+                    "`unsafe{}` without a nearby SAFETY justification",
+                    if next.is_empty() {
+                        String::new()
+                    } else {
+                        format!(" {next}")
+                    }
+                ),
+                hint: if is_item {
+                    "add a `# Safety` doc section (or a `// SAFETY:` comment) above the item"
+                        .to_owned()
+                } else {
+                    "add `// SAFETY: <why the invariants hold>` directly above the unsafe block"
+                        .to_owned()
+                },
+            });
+        }
+    }
+}
+
+/// True when a comment within `window` lines above `line` (or the line
+/// just inside the block) mentions `SAFETY`, or — for items — a doc
+/// comment carries a `# Safety` section.
+fn has_safety_note(file: &SourceFile, line: u32, window: u32, is_item: bool) -> bool {
+    let lo = line.saturating_sub(window);
+    file.tokens.iter().any(|t| {
+        if !matches!(t.kind, TokenKind::LineComment | TokenKind::BlockComment) {
+            return false;
+        }
+        if t.line < lo || t.line > line + 1 {
+            return false;
+        }
+        let text = t.text(&file.text);
+        text.contains("SAFETY") || (is_item && text.contains("# Safety"))
+    })
+}

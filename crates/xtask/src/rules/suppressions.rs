@@ -1,0 +1,102 @@
+//! `tsan-suppressions`: the TSan suppressions file cannot rot.
+//!
+//! A suppression that outlives the symbol it silences hides *new*
+//! races that happen to land in a matching frame. Each entry's last
+//! concrete path segment must still exist as an identifier somewhere
+//! in the workspace sources.
+
+use super::Rule;
+use crate::diag::Diagnostic;
+use crate::LintContext;
+
+/// Suppression kinds TSan understands; anything else is a typo that
+/// TSan would silently ignore.
+const KINDS: &[&str] = &[
+    "race",
+    "race_top",
+    "thread",
+    "mutex",
+    "signal",
+    "deadlock",
+    "called_from_lib",
+];
+
+/// Validates `.github/tsan-suppressions.txt` against the sources.
+pub struct TsanSuppressions;
+
+impl Rule for TsanSuppressions {
+    fn id(&self) -> &'static str {
+        "tsan-suppressions"
+    }
+
+    fn summary(&self) -> &'static str {
+        "TSan suppressions are well-formed and still name symbols that exist in the sources"
+    }
+
+    fn check_workspace(&self, ctx: &LintContext, out: &mut Vec<Diagnostic>) {
+        let Some((rel, content)) = &ctx.suppressions else {
+            return;
+        };
+        for (idx, raw) in content.lines().enumerate() {
+            let line = raw.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let lineno = (idx + 1) as u32;
+            let Some((kind, pattern)) = line.split_once(':') else {
+                out.push(self.diag(
+                    rel,
+                    lineno,
+                    format!("malformed suppression `{line}` (expected `kind:pattern`)"),
+                    "use e.g. `race:vcf_core::concurrent::some_fn`",
+                ));
+                continue;
+            };
+            if !KINDS.contains(&kind.trim()) {
+                out.push(self.diag(
+                    rel,
+                    lineno,
+                    format!("unknown suppression kind `{}`", kind.trim()),
+                    "TSan silently ignores unknown kinds; use race/race_top/thread/mutex/\
+                     signal/deadlock/called_from_lib",
+                ));
+                continue;
+            }
+            // Last concrete (wildcard-free) segment of the pattern.
+            let Some(symbol) = pattern
+                .split(':')
+                .rev()
+                .flat_map(|seg| seg.split('*'))
+                .find(|seg| {
+                    !seg.is_empty() && seg.chars().all(|c| c.is_alphanumeric() || c == '_')
+                })
+            else {
+                continue; // pure-wildcard pattern: nothing to verify
+            };
+            let exists = ctx.files.iter().any(|f| f.text.contains(symbol));
+            if !exists {
+                out.push(self.diag(
+                    rel,
+                    lineno,
+                    format!(
+                        "stale suppression: symbol `{symbol}` no longer exists in the workspace"
+                    ),
+                    "delete the entry (or update it to the renamed symbol)",
+                ));
+            }
+        }
+    }
+}
+
+impl TsanSuppressions {
+    fn diag(&self, rel: &str, line: u32, message: String, hint: &str) -> Diagnostic {
+        Diagnostic {
+            rule: self.id(),
+            file: rel.to_owned(),
+            line,
+            col: 1,
+            message,
+            hint: hint.to_owned(),
+        }
+    }
+}

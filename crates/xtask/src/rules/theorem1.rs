@@ -1,0 +1,103 @@
+//! `theorem1-confinement`: candidate-bucket XOR arithmetic lives only
+//! in `core/vertical.rs` and `core/bitmask.rs`.
+//!
+//! The paper's Theorem 1 (and Theorem 2 for the generalized k-VCF)
+//! guarantees relocatability *only because* every candidate bucket is
+//! derived by XOR-ing masked fingerprint hash bits, so the four
+//! candidates form a closed coset. A stray `b ^ mask` expression
+//! elsewhere can silently break that closure — the filter still
+//! "works" but deletes and relocations corrupt. The rule is a
+//! heuristic: any `^` whose six-code-token neighbourhood mentions a
+//! bucket- or mask-flavoured identifier is presumed to be candidate
+//! arithmetic and must move behind the `vertical` helpers.
+
+use super::{Rule, THEOREM1_MODULES};
+use crate::diag::Diagnostic;
+use crate::source::SourceFile;
+
+/// Identifiers that smell like bucket indices (exact match — generic
+/// names like `seed` or `shard_mask` deliberately excluded).
+const BUCKETISH: &[&str] = &[
+    "b1",
+    "b2",
+    "b3",
+    "b4",
+    "bg",
+    "bucket",
+    "buckets",
+    "cur_bucket",
+    "current",
+    "alt",
+    "alts",
+    "alt_bucket",
+    "candidate",
+    "candidates",
+];
+
+/// Identifiers that smell like vertical-hashing masks or fingerprint
+/// hashes.
+const MASKISH: &[&str] = &[
+    "bm",
+    "bm1",
+    "bm2",
+    "mask1",
+    "mask2",
+    "masks",
+    "index_mask",
+    "fingerprint_hash",
+    "hfp",
+    "vh",
+    "victim_hash",
+];
+
+/// How many code tokens on each side of `^` form the neighbourhood.
+const WINDOW: usize = 6;
+
+/// Flags suspected candidate-bucket XORs outside [`THEOREM1_MODULES`].
+pub struct TheoremOneConfinement;
+
+impl Rule for TheoremOneConfinement {
+    fn id(&self) -> &'static str {
+        "theorem1-confinement"
+    }
+
+    fn summary(&self) -> &'static str {
+        "candidate-bucket XOR/mask arithmetic appears only in core/vertical.rs and core/bitmask.rs"
+    }
+
+    fn check_file(&self, file: &SourceFile, out: &mut Vec<Diagnostic>) {
+        if !file.rel.starts_with("crates/core/src/")
+            || THEOREM1_MODULES.contains(&file.rel.as_str())
+        {
+            return;
+        }
+        for k in 0..file.code.len() {
+            if file.code_tok(k) != "^" {
+                continue;
+            }
+            let tok = file.tokens[file.code[k]];
+            if file.is_test_line(tok.line) {
+                continue;
+            }
+            let lo = k.saturating_sub(WINDOW);
+            let hi = (k + WINDOW + 1).min(file.code.len());
+            let suspicious = (lo..hi).any(|j| {
+                let t = file.code_tok(j);
+                BUCKETISH.contains(&t) || MASKISH.contains(&t)
+            });
+            if !suspicious {
+                continue;
+            }
+            out.push(Diagnostic {
+                rule: self.id(),
+                file: file.rel.clone(),
+                line: tok.line,
+                col: tok.col,
+                message: "bucket/mask XOR outside the Theorem-1 modules".to_owned(),
+                hint: "derive candidates via vcf_core::vertical (masked_candidate / \
+                       masked_relocate / VerticalParams) so coset closure stays provable in one place"
+                    .to_owned(),
+            });
+        }
+    }
+}

@@ -1,0 +1,272 @@
+//! Fixture-based rule tests: for every rule, one snippet that must fail
+//! and one that must pass, plus JSON round-tripping of the report.
+//!
+//! The snippets live under `tests/fixtures/` — a directory the
+//! workspace walker skips, so the deliberately-violating code never
+//! reaches a real lint run. Each test mounts a snippet at a relative
+//! path inside the rule's scope.
+
+use vcf_xtask::diag::{report_json, Diagnostic};
+use vcf_xtask::json;
+use vcf_xtask::source::SourceFile;
+use vcf_xtask::LintContext;
+
+fn run_rule(rel: &str, src: &str, rule: &str) -> Vec<Diagnostic> {
+    let ctx = LintContext::from_memory(vec![SourceFile::new(rel, src)]);
+    ctx.run(Some(rule)).expect("rule id must be known")
+}
+
+fn assert_fails(rel: &str, src: &str, rule: &'static str) -> Vec<Diagnostic> {
+    let diags = run_rule(rel, src, rule);
+    assert!(
+        !diags.is_empty(),
+        "expected `{rule}` to fire on fixture mounted at {rel}"
+    );
+    assert!(diags.iter().all(|d| d.rule == rule));
+    diags
+}
+
+fn assert_passes(rel: &str, src: &str, rule: &str) {
+    let diags = run_rule(rel, src, rule);
+    assert!(
+        diags.is_empty(),
+        "expected `{rule}` to stay quiet on fixture mounted at {rel}, got:\n{}",
+        diags
+            .iter()
+            .map(Diagnostic::render_text)
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}
+
+#[test]
+fn safety_comment_fixtures() {
+    let diags = assert_fails(
+        "crates/demo/src/raw.rs",
+        include_str!("fixtures/safety_fail.rs"),
+        "safety-comment",
+    );
+    assert_eq!(diags.len(), 1, "exactly the one unjustified block");
+    assert_passes(
+        "crates/demo/src/raw.rs",
+        include_str!("fixtures/safety_pass.rs"),
+        "safety-comment",
+    );
+}
+
+#[test]
+fn atomic_ordering_fixtures() {
+    // Outside the whitelist the store's ordering argument fires…
+    assert_fails(
+        "crates/demo/src/worker.rs",
+        include_str!("fixtures/atomic_fail.rs"),
+        "atomic-ordering",
+    );
+    // …the same code inside a whitelisted module is fine…
+    assert_passes(
+        "crates/traits/src/counters.rs",
+        include_str!("fixtures/atomic_fail.rs"),
+        "atomic-ordering",
+    );
+    // …and cmp::Ordering never counts, wherever it appears.
+    assert_passes(
+        "crates/demo/src/worker.rs",
+        include_str!("fixtures/atomic_pass.rs"),
+        "atomic-ordering",
+    );
+}
+
+#[test]
+fn seqlock_relaxed_fixtures() {
+    assert_fails(
+        "crates/core/src/concurrent.rs",
+        include_str!("fixtures/seqlock_fail.rs"),
+        "seqlock-relaxed",
+    );
+    assert_passes(
+        "crates/core/src/concurrent.rs",
+        include_str!("fixtures/seqlock_pass.rs"),
+        "seqlock-relaxed",
+    );
+}
+
+#[test]
+fn no_panic_hot_path_fixtures() {
+    let diags = assert_fails(
+        "crates/core/src/vcf.rs",
+        include_str!("fixtures/hotpath_fail.rs"),
+        "no-panic-hot-path",
+    );
+    // unwrap + panic! + dynamic index = three distinct findings.
+    assert_eq!(diags.len(), 3, "got:\n{diags:#?}");
+    assert_passes(
+        "crates/core/src/vcf.rs",
+        include_str!("fixtures/hotpath_pass.rs"),
+        "no-panic-hot-path",
+    );
+    // The same panicking code outside a hot-path module is out of scope.
+    assert_passes(
+        "crates/harness/src/report.rs",
+        include_str!("fixtures/hotpath_fail.rs"),
+        "no-panic-hot-path",
+    );
+}
+
+#[test]
+fn theorem1_confinement_fixtures() {
+    assert_fails(
+        "crates/core/src/dvcf.rs",
+        include_str!("fixtures/theorem1_fail.rs"),
+        "theorem1-confinement",
+    );
+    // The same arithmetic is legal inside the Theorem-1 modules…
+    assert_passes(
+        "crates/core/src/vertical.rs",
+        include_str!("fixtures/theorem1_fail.rs"),
+        "theorem1-confinement",
+    );
+    // …and seed whitening outside them doesn't look like candidates.
+    assert_passes(
+        "crates/core/src/dvcf.rs",
+        include_str!("fixtures/theorem1_pass.rs"),
+        "theorem1-confinement",
+    );
+}
+
+#[test]
+fn missing_docs_public_fixtures() {
+    let diags = assert_fails(
+        "crates/core/src/options.rs",
+        include_str!("fixtures/docs_fail.rs"),
+        "missing-docs-public",
+    );
+    // fn + struct + field, all undocumented.
+    assert_eq!(diags.len(), 3, "got:\n{diags:#?}");
+    assert_passes(
+        "crates/core/src/options.rs",
+        include_str!("fixtures/docs_pass.rs"),
+        "missing-docs-public",
+    );
+    // Crates outside the API list are not held to the doc standard.
+    assert_passes(
+        "crates/harness/src/options.rs",
+        include_str!("fixtures/docs_fail.rs"),
+        "missing-docs-public",
+    );
+}
+
+#[test]
+fn crate_unsafe_attr_fixtures() {
+    assert_fails(
+        "crates/demo/src/lib.rs",
+        include_str!("fixtures/crate_attrs_fail.rs"),
+        "crate-unsafe-attr",
+    );
+    assert_passes(
+        "crates/demo/src/lib.rs",
+        include_str!("fixtures/crate_attrs_pass.rs"),
+        "crate-unsafe-attr",
+    );
+    // Non-root modules carry no crate attributes and are out of scope.
+    assert_passes(
+        "crates/demo/src/inner.rs",
+        include_str!("fixtures/crate_attrs_fail.rs"),
+        "crate-unsafe-attr",
+    );
+}
+
+#[test]
+fn tsan_suppressions_fixtures() {
+    let source = SourceFile::new(
+        "crates/demo/src/lib.rs",
+        "pub fn existing_symbol_for_fixture() {}\n",
+    );
+    let mut ctx = LintContext::from_memory(vec![source]);
+    ctx.suppressions = Some((
+        ".github/tsan-suppressions.txt".to_owned(),
+        include_str!("fixtures/tsan_fail.txt").to_owned(),
+    ));
+    let diags = ctx.run(Some("tsan-suppressions")).unwrap();
+    // Stale symbol + unknown kind + missing colon.
+    assert_eq!(diags.len(), 3, "got:\n{diags:#?}");
+
+    let source = SourceFile::new(
+        "crates/demo/src/lib.rs",
+        "pub fn existing_symbol_for_fixture() {}\n",
+    );
+    let mut ctx = LintContext::from_memory(vec![source]);
+    ctx.suppressions = Some((
+        ".github/tsan-suppressions.txt".to_owned(),
+        include_str!("fixtures/tsan_pass.txt").to_owned(),
+    ));
+    assert!(ctx.run(Some("tsan-suppressions")).unwrap().is_empty());
+}
+
+#[test]
+fn waiver_fixtures() {
+    // Full runs surface malformed and stale waivers.
+    let ctx = LintContext::from_memory(vec![SourceFile::new(
+        "crates/demo/src/waivers.rs",
+        include_str!("fixtures/waiver_fail.rs"),
+    )]);
+    let diags = ctx.run(None).unwrap();
+    let rules: Vec<&str> = diags.iter().map(|d| d.rule).collect();
+    assert_eq!(rules, ["lint-waiver", "stale-waiver"], "got:\n{diags:#?}");
+
+    // A used waiver is neither a violation nor stale.
+    let ctx = LintContext::from_memory(vec![SourceFile::new(
+        "crates/core/src/concurrent.rs",
+        include_str!("fixtures/seqlock_pass.rs"),
+    )]);
+    let diags = ctx.run(None).unwrap();
+    assert!(
+        diags
+            .iter()
+            .all(|d| d.rule != "stale-waiver" && d.rule != "lint-waiver"),
+        "got:\n{diags:#?}"
+    );
+}
+
+#[test]
+fn json_report_round_trips() {
+    let diags = assert_fails(
+        "crates/core/src/vcf.rs",
+        include_str!("fixtures/hotpath_fail.rs"),
+        "no-panic-hot-path",
+    );
+    let rendered = report_json(&diags, 1, &["no-panic-hot-path"]);
+    let value = json::parse(&rendered).expect("report must be valid JSON");
+    assert_eq!(
+        value.get("checked_files").and_then(json::Value::as_num),
+        Some(1.0)
+    );
+    let parsed = value
+        .get("diagnostics")
+        .and_then(json::Value::as_arr)
+        .expect("diagnostics array");
+    assert_eq!(parsed.len(), diags.len());
+    for (obj, diag) in parsed.iter().zip(&diags) {
+        assert_eq!(
+            obj.get("rule").and_then(json::Value::as_str),
+            Some(diag.rule)
+        );
+        assert_eq!(
+            obj.get("file").and_then(json::Value::as_str),
+            Some(diag.file.as_str())
+        );
+        assert_eq!(
+            obj.get("line").and_then(json::Value::as_num),
+            Some(f64::from(diag.line))
+        );
+        assert_eq!(
+            obj.get("message").and_then(json::Value::as_str),
+            Some(diag.message.as_str())
+        );
+    }
+}
+
+#[test]
+fn unknown_rule_filter_is_an_error() {
+    let ctx = LintContext::from_memory(vec![]);
+    assert!(ctx.run(Some("no-such-rule")).is_err());
+}

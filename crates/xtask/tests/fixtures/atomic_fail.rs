@@ -1,0 +1,7 @@
+// Failing fixture: names an atomic ordering outside the whitelisted
+// concurrency modules (rel path chosen by the test).
+use std::sync::atomic::{AtomicU64, Ordering};
+
+pub fn bump(v: &AtomicU64) {
+    v.store(1, Ordering::Release);
+}

@@ -1,0 +1,11 @@
+// Passing fixture: `cmp::Ordering` variants are not atomic orderings,
+// and strings/comments mentioning Ordering::Relaxed don't count.
+use std::cmp::Ordering;
+
+pub fn describe(a: u32, b: u32) -> &'static str {
+    match a.cmp(&b) {
+        Ordering::Less => "less",
+        Ordering::Equal => "equal (not Ordering::Relaxed)",
+        Ordering::Greater => "greater",
+    }
+}

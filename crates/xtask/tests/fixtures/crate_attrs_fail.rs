@@ -1,0 +1,5 @@
+//! Failing fixture: a crate root that denies unsafe_code but forgets
+//! unsafe_op_in_unsafe_fn.
+#![deny(unsafe_code)]
+
+pub fn noop() {}

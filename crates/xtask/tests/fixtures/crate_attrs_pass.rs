@@ -1,0 +1,4 @@
+//! Passing fixture: a crate root that forbids unsafe code outright.
+#![forbid(unsafe_code)]
+
+pub fn noop() {}

@@ -1,0 +1,6 @@
+// Failing fixture: undocumented public items in an API crate.
+pub fn undocumented() {}
+
+pub struct Config {
+    pub retries: u32,
+}

@@ -1,0 +1,12 @@
+// Passing fixture: documented public items; crate-private items need no
+// docs.
+/// Does the thing.
+pub fn documented() {}
+
+/// Tuning knobs.
+pub struct Config {
+    /// How many times to retry.
+    pub retries: u32,
+}
+
+pub(crate) fn internal() {}

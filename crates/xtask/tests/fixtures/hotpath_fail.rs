@@ -1,0 +1,12 @@
+// Failing fixture: unwrap, panic!, and unchecked dynamic indexing in a
+// hot-path module.
+pub fn first(v: &[u64]) -> u64 {
+    *v.first().unwrap()
+}
+
+pub fn pick(v: &[u64], i: usize) -> u64 {
+    if i > v.len() {
+        panic!("out of range");
+    }
+    v[i]
+}

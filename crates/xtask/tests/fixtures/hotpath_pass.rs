@@ -1,0 +1,24 @@
+// Passing fixture: the three dispensations (literal index, range index,
+// debug_assert in the enclosing fn) plus checked access, and tests may
+// do whatever they like.
+pub fn head_tail(v: &[u64; 4]) -> (u64, &[u64]) {
+    (v[0], &v[1..])
+}
+
+pub fn pick(v: &[u64], i: usize) -> u64 {
+    debug_assert!(i < v.len(), "caller guarantees the bound");
+    v[i]
+}
+
+pub fn safe_pick(v: &[u64], i: usize) -> Option<u64> {
+    v.get(i).copied()
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn unwrap_is_fine_here() {
+        let v = [1u64];
+        assert_eq!(*v.first().unwrap(), 1);
+    }
+}

@@ -1,0 +1,4 @@
+// Failing fixture: an unsafe block with no justification comment.
+pub fn read_first(p: *const u64) -> u64 {
+    unsafe { *p }
+}

@@ -1,0 +1,17 @@
+// Passing fixture: the block is justified, and the unsafe fn carries a
+// `# Safety` doc section.
+pub fn read_first(p: *const u64) -> u64 {
+    // SAFETY: caller contract (checked at the FFI boundary) guarantees
+    // `p` is non-null and aligned.
+    unsafe { *p }
+}
+
+/// Reads without any checks.
+///
+/// # Safety
+///
+/// `p` must be valid for reads.
+pub unsafe fn read_unchecked(p: *const u64) -> u64 {
+    // SAFETY: forwarded contract from this fn's own `# Safety` section.
+    unsafe { *p }
+}

@@ -1,0 +1,7 @@
+// Failing fixture: a Relaxed load in a seqlock module with no waiver.
+use std::sync::atomic::{AtomicU32, Ordering};
+
+/// Reads the version word.
+pub fn version(v: &AtomicU32) -> u32 {
+    v.load(Ordering::Relaxed)
+}

@@ -1,0 +1,10 @@
+// Passing fixture: the Relaxed load carries a waiver naming the pairing
+// fence, so the rule is satisfied (and the waiver is used, not stale).
+use std::sync::atomic::{fence, AtomicU32, Ordering};
+
+/// Validates the version word after the data reads.
+pub fn validate(v: &AtomicU32, before: u32) -> bool {
+    fence(Ordering::Acquire);
+    // lint: allow(seqlock-relaxed) — paired with the fence(Acquire) above
+    v.load(Ordering::Relaxed) == before
+}

@@ -1,0 +1,5 @@
+// Failing fixture: candidate-bucket XOR arithmetic outside the
+// Theorem-1 modules.
+pub fn alt_bucket(bucket: usize, hfp: u64, index_mask: u64) -> usize {
+    bucket ^ (hfp & index_mask) as usize
+}

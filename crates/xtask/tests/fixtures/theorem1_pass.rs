@@ -1,0 +1,5 @@
+// Passing fixture: XOR on non-bucket identifiers (seed whitening) is
+// not candidate arithmetic.
+pub fn whiten(seed: u64) -> u64 {
+    seed ^ 0x9e37_79b9_7f4a_7c15
+}

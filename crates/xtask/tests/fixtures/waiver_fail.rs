@@ -1,0 +1,7 @@
+// Failing fixture: one malformed waiver (no reason) and one stale
+// waiver (the rule it names never fires on the next line).
+// lint: allow(no-panic-hot-path)
+pub fn covered() {}
+
+// lint: allow(seqlock-relaxed) — nothing here actually loads Relaxed
+pub fn stale() {}

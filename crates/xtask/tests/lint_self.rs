@@ -1,0 +1,42 @@
+//! The workspace itself must lint clean — this is the check CI relies
+//! on, run here as an ordinary test so `cargo test --workspace` catches
+//! regressions without a separate CI wiring.
+
+use std::path::PathBuf;
+
+use vcf_xtask::diag::Diagnostic;
+use vcf_xtask::LintContext;
+
+fn workspace_root() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../..")
+}
+
+#[test]
+fn workspace_lints_clean() {
+    let ctx = LintContext::load(&workspace_root()).expect("workspace loads");
+    assert!(
+        ctx.files.len() > 100,
+        "walker found only {} files — scope regression?",
+        ctx.files.len()
+    );
+    let diags = ctx.run(None).expect("full run");
+    assert!(
+        diags.is_empty(),
+        "workspace has lint violations:\n{}",
+        diags
+            .iter()
+            .map(Diagnostic::render_text)
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}
+
+#[test]
+fn workspace_has_tsan_suppressions_file() {
+    let ctx = LintContext::load(&workspace_root()).expect("workspace loads");
+    assert!(
+        ctx.suppressions.is_some(),
+        "expected .github/tsan-suppressions.txt to exist so the \
+         staleness rule has something to check"
+    );
+}

@@ -175,7 +175,7 @@ fn stable_keys_stay_visible_under_writer_churn() {
                     for k in &stable {
                         assert!(filter.contains(k), "stable key vanished mid-churn");
                     }
-                    let refs: Vec<&[u8]> = stable.iter().map(|k| k.as_slice()).collect();
+                    let refs: Vec<&[u8]> = stable.iter().map(std::vec::Vec::as_slice).collect();
                     assert!(
                         filter.contains_batch(&refs).into_iter().all(|b| b),
                         "batched probe missed a stable key"

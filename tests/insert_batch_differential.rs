@@ -39,7 +39,7 @@ fn check_batch_matches_serial(
 ) -> Result<(), TestCaseError> {
     let name = serial.name();
     let bytes: Vec<[u8; 4]> = keys.iter().copied().map(key_bytes).collect();
-    let refs: Vec<&[u8]> = bytes.iter().map(|b| b.as_slice()).collect();
+    let refs: Vec<&[u8]> = bytes.iter().map(<[u8; 4]>::as_slice).collect();
 
     let serial_results: Vec<_> = refs.iter().map(|k| serial.insert(k)).collect();
     let batch_results = batched.insert_batch(&refs);
