@@ -3,6 +3,7 @@
 
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
+use vcf_core::bulk::{self, BulkHost};
 use vcf_core::{CuckooConfig, EvictionPolicy};
 use vcf_hash::HashKind;
 use vcf_table::FingerprintTable;
@@ -241,6 +242,68 @@ impl CuckooFilter {
     }
 }
 
+impl BulkHost for CuckooFilter {
+    /// `(fingerprint, B1, B2)` — both candidates precomputed, narrow.
+    type Key = (u32, u32, u32);
+
+    fn bulk_buckets(&self) -> usize {
+        self.table.buckets()
+    }
+
+    fn bulk_key(&self, item: &[u8]) -> Self::Key {
+        let (fingerprint, b1) = self.key_of(item);
+        (
+            fingerprint,
+            b1 as u32,
+            self.alternate(b1, fingerprint) as u32,
+        )
+    }
+
+    fn bulk_candidates(&self, _key: &Self::Key) -> usize {
+        2
+    }
+
+    fn bulk_candidate(&self, key: &Self::Key, e: usize) -> usize {
+        if e == 0 {
+            key.1 as usize
+        } else {
+            key.2 as usize
+        }
+    }
+
+    fn bulk_prefetch(&self, bucket: usize) {
+        self.table.prefetch_bucket(bucket);
+    }
+
+    fn bulk_try_place(&mut self, key: &Self::Key, e: usize) -> bool {
+        let bucket = if e == 0 { key.1 } else { key.2 };
+        self.table.try_insert(bucket as usize, key.0).is_some()
+    }
+
+    fn bulk_place_run(&mut self, bucket: usize, keys: &[Self::Key]) -> usize {
+        let mut fps = [0u64; vcf_table::MAX_BUCKET_SLOTS];
+        let take = keys.len().min(fps.len());
+        for (fp, key) in fps.iter_mut().zip(&keys[..take]) {
+            *fp = u64::from(key.0);
+        }
+        self.table.fill(bucket, &fps[..take])
+    }
+
+    fn bulk_record_keys(&self, n: u64) {
+        self.counters.add_hashes(2 * n);
+    }
+
+    fn bulk_record_swept(&self, items: u64, bucket_accesses: u64) {
+        let slots = self.table.slots_per_bucket() as u64;
+        self.counters
+            .record_inserts(items, bucket_accesses * slots, bucket_accesses);
+    }
+
+    fn bulk_insert(&mut self, key: &Self::Key) -> Result<(), InsertError> {
+        self.insert_prehashed(key.0, key.1 as usize, key.2 as usize)
+    }
+}
+
 impl Filter for CuckooFilter {
     fn insert(&mut self, item: &[u8]) -> Result<(), InsertError> {
         let (fingerprint, b1) = self.key_of(item);
@@ -275,6 +338,14 @@ impl Filter for CuckooFilter {
         out
     }
 
+    /// Sort-by-bucket bulk construction (see [`vcf_core::bulk`]).
+    fn build_from_iter(
+        &mut self,
+        items: &mut dyn Iterator<Item = &[u8]>,
+    ) -> Vec<Result<(), InsertError>> {
+        bulk::build_from_iter(self, items)
+    }
+
     fn contains(&self, item: &[u8]) -> bool {
         let (fingerprint, b1) = self.key_of(item);
         let b2 = self.alternate(b1, fingerprint);
@@ -304,13 +375,9 @@ impl Filter for CuckooFilter {
         let slots = self.table.slots_per_bucket() as u64;
         let mut out = Vec::with_capacity(items.len());
         for &(fingerprint, b1, b2) in &keys {
-            let mut probes = slots;
-            let mut found = self.table.contains(b1, fingerprint);
-            if !found {
-                probes += slots;
-                found = self.table.contains(b2, fingerprint);
-            }
-            self.counters.record_lookup(probes, 2);
+            // One two-bucket probe with no early exit (SIMD-friendly).
+            let found = self.table.contains_any(&[b1, b2], fingerprint);
+            self.counters.record_lookup(2 * slots, 2);
             out.push(found);
         }
         out

@@ -1,0 +1,389 @@
+//! Sort-by-bucket bulk construction shared by the cuckoo family.
+//!
+//! [`Filter::build_from_iter`](vcf_traits::Filter::build_from_iter)
+//! defaults to serial batched insertion. The table-backed filters (CF,
+//! VCF, DVCF, k-VCF) override it through this module with a three-stage
+//! build that turns the random-access insert storm into one sequential
+//! sweep:
+//!
+//! 1. **Hash** every item up front into a compact key (fingerprint plus
+//!    candidate-derivation state), appending it to the coarse partition
+//!    its primary candidate bucket falls in.
+//! 2. **Sort & sweep**, one partition at a time: stable counting-sort
+//!    the partition by primary candidate bucket (the histogram is
+//!    L1-resident by construction), then walk its slice of the table in
+//!    ascending bucket order, placing each same-bucket run of items
+//!    first-fit with one bucket load/store
+//!    ([`BulkHost::bulk_place_run`]). An item whose primary bucket is
+//!    full falls through to its remaining candidates on the spot —
+//!    those probes are random access, but they are the small minority
+//!    at any load the sweep is designed for.
+//! 3. **Cleanup**: items whose every candidate was full are deferred
+//!    and re-inserted in original submission order through the
+//!    filter's normal eviction path (random walk or BFS), which may
+//!    relocate residents.
+//!
+//! The deferred set is bounded by the number of items that find all `k`
+//! candidates full *during the sweep* — at the target 95 % load this is
+//! a small tail (empirically a few percent), so the expensive eviction
+//! machinery runs on a fraction of the input while the bulk of the table
+//! fills at streaming speed. Membership is equivalent to serial
+//! insertion: every `Ok` item is stored (no false negatives) and the
+//! occupancy equals the `Ok` count; only the slot assignment differs.
+
+use vcf_traits::InsertError;
+
+/// How far ahead of the cleanup cursor candidate buckets are prefetched
+/// (same window the pipelined `insert_batch` paths use).
+const LOOKAHEAD: usize = 16;
+
+/// Buckets per sort partition (as a power of two): 4096 buckets keep
+/// the per-partition histogram at 16 KiB — L1-resident — and the
+/// partition's table slice within a sliver of L2, whatever the total
+/// table size.
+const PART_BUCKETS_LOG2: usize = 12;
+
+/// Upper bound on one placement run handed to
+/// [`bulk_place_run`](BulkHost::bulk_place_run) — one bucket's worth
+/// ([`vcf_table::MAX_BUCKET_SLOTS`]), since a longer prefix could never
+/// fit anyway.
+const RUN_BUF: usize = vcf_table::MAX_BUCKET_SLOTS;
+
+/// A filter that exposes the hooks the sort-sweep-cleanup driver needs.
+///
+/// Counter accounting is *aggregated*: the driver tallies sweep work in
+/// plain locals and flushes it through
+/// [`bulk_record_keys`](BulkHost::bulk_record_keys) /
+/// [`bulk_record_swept`](BulkHost::bulk_record_swept) once per build, so
+/// the hot loops pay zero atomic traffic. Totals still land exactly
+/// where a serial fill would put them (deferred items are recorded by
+/// [`bulk_insert`](BulkHost::bulk_insert) itself).
+pub trait BulkHost {
+    /// Per-item hashed key: the fingerprint plus whatever state derives
+    /// the candidate buckets without rehashing the item. Kept as narrow
+    /// as possible — the key rides inside every sort entry.
+    type Key: Copy;
+
+    /// Number of buckets `m` (the counting-sort domain).
+    fn bulk_buckets(&self) -> usize;
+
+    /// Hashes one item into its key. Pure: hash counters are charged in
+    /// aggregate by [`bulk_record_keys`](BulkHost::bulk_record_keys).
+    fn bulk_key(&self, item: &[u8]) -> Self::Key;
+
+    /// Number of candidate buckets for this key (`k`; 2 or 4 for DVCF).
+    fn bulk_candidates(&self, key: &Self::Key) -> usize;
+
+    /// The `e`-th candidate bucket for this key
+    /// (`e < bulk_candidates(key)`).
+    fn bulk_candidate(&self, key: &Self::Key, e: usize) -> usize;
+
+    /// Issues a software prefetch for `bucket`.
+    fn bulk_prefetch(&self, bucket: usize);
+
+    /// First-fit placement attempt of `key` into its `e`-th candidate;
+    /// `true` when an empty slot was claimed. Never relocates residents.
+    fn bulk_try_place(&mut self, key: &Self::Key, e: usize) -> bool;
+
+    /// Places a run of keys that all share `bucket` as their *primary*
+    /// candidate, first-fit in order, and returns how many of the
+    /// leading keys fit (always a prefix; fewer than asked means the
+    /// bucket is now full). Table-backed hosts override this to load
+    /// and store the bucket words once for the whole run.
+    fn bulk_place_run(&mut self, bucket: usize, keys: &[Self::Key]) -> usize {
+        let _ = bucket;
+        let mut placed = 0;
+        for key in keys {
+            if !self.bulk_try_place(key, 0) {
+                break;
+            }
+            placed += 1;
+        }
+        placed
+    }
+
+    /// Charges the hash counters for `n` items keyed by
+    /// [`bulk_key`](BulkHost::bulk_key), exactly as `n` serial inserts
+    /// would have.
+    fn bulk_record_keys(&self, n: u64);
+
+    /// Records `items` successful sweep placements that inspected
+    /// `bucket_accesses` candidate buckets in total.
+    fn bulk_record_swept(&self, items: u64, bucket_accesses: u64);
+
+    /// Full insertion (eviction allowed) for the overflow cleanup;
+    /// records its own counters exactly like a serial insert.
+    fn bulk_insert(&mut self, key: &Self::Key) -> Result<(), InsertError>;
+}
+
+/// One in-flight item: its hashed key travels *inside* the sort entry so
+/// the scatter and the sweep never chase a random index back into a big
+/// side array — every pass over the partitions streams sequentially, and
+/// the only random traffic left is cache-resident by construction. The
+/// primary bucket is deliberately *not* stored: every key re-derives any
+/// of its candidates with a couple of ALU ops, and the narrower entry
+/// buys more of the sort working set per cache line.
+#[derive(Clone, Copy)]
+struct Entry<K> {
+    /// Original submission index (for the results vector).
+    idx: u32,
+    /// The hashed key (fingerprint + candidate-derivation state).
+    key: K,
+}
+
+/// The sort-sweep-cleanup driver behind every table-backed
+/// [`build_from_iter`](vcf_traits::Filter::build_from_iter) override.
+///
+/// The counting sort runs in two cache-aware passes: the hash pass
+/// appends each entry to a coarse partition (a contiguous range of
+/// [`PART_BUCKETS_LOG2`]-bit bucket ids, so the write streams stay few
+/// and sequential), then each partition is counting-sorted with an
+/// L1-resident histogram and swept while its slice of the table is
+/// still warm. Same-bucket runs in the sorted order are placed through
+/// [`bulk_place_run`](BulkHost::bulk_place_run), which lets the backend
+/// load and store the bucket words once per run instead of once per
+/// item.
+///
+/// Returns one result per item in input order, exactly like
+/// [`insert_batch`](vcf_traits::Filter::insert_batch).
+pub fn build_from_iter<H: BulkHost>(
+    host: &mut H,
+    items: &mut dyn Iterator<Item = &[u8]>,
+) -> Vec<Result<(), InsertError>> {
+    let buckets = host.bulk_buckets();
+    debug_assert!(buckets <= u32::MAX as usize, "bucket ids must fit u32");
+    let parts = buckets.div_ceil(1 << PART_BUCKETS_LOG2).max(1);
+
+    // Hash pass: key every item and append it to its primary bucket's
+    // partition. With at most `m / 4096` live write streams this stays
+    // friendly to small caches even when the entry set far exceeds them.
+    let hint = items.size_hint().0;
+    let mut partitions: Vec<Vec<Entry<H::Key>>> = (0..parts)
+        .map(|_| Vec::with_capacity(hint / parts + 16))
+        .collect();
+    let mut n = 0usize;
+    for (idx, item) in items.enumerate() {
+        debug_assert!(idx <= u32::MAX as usize, "bulk build capped at 2^32 items");
+        let key = host.bulk_key(item);
+        let primary = host.bulk_candidate(&key, 0);
+        debug_assert!(primary < buckets);
+        partitions[primary >> PART_BUCKETS_LOG2].push(Entry {
+            idx: idx as u32,
+            key,
+        });
+        n = idx + 1;
+    }
+    host.bulk_record_keys(n as u64);
+    let mut results: Vec<Result<(), InsertError>> = vec![Ok(()); n];
+    if n == 0 {
+        return results;
+    }
+
+    // Sort & sweep, one partition at a time. The histogram (4097 slots,
+    // 16 KiB) and the partition's scratch both fit in cache, so the
+    // stable counting sort that was a memory-latency wall as one giant
+    // scatter becomes L1/L2 traffic here.
+    let mut hist: Vec<u32> = vec![0; (1 << PART_BUCKETS_LOG2) + 1];
+    // Sorted scratch in struct-of-arrays form: the sweep hands key
+    // sub-slices straight to `bulk_place_run` without re-packing a run
+    // buffer, and only touches the index lane for items that overflow.
+    let mut scratch_keys: Vec<H::Key> = Vec::new();
+    let mut scratch_idx: Vec<u32> = Vec::new();
+    let mut deferred: Vec<Entry<H::Key>> = Vec::new();
+    let mut swept_items = 0u64;
+    let mut swept_accesses = 0u64;
+    for (p, part) in partitions.iter().enumerate() {
+        if part.is_empty() {
+            continue;
+        }
+        let base = p << PART_BUCKETS_LOG2;
+        let width = (1usize << PART_BUCKETS_LOG2).min(buckets - base);
+        hist[..=width].fill(0);
+        for e in part {
+            hist[host.bulk_candidate(&e.key, 0) - base + 1] += 1;
+        }
+        for b in 0..width {
+            hist[b + 1] += hist[b];
+        }
+        let len = part.len();
+        scratch_keys.clear();
+        scratch_keys.resize(len, part[0].key);
+        scratch_idx.clear();
+        scratch_idx.resize(len, 0);
+        for e in part {
+            let slot = &mut hist[host.bulk_candidate(&e.key, 0) - base];
+            let pos = *slot as usize;
+            scratch_keys[pos] = e.key;
+            scratch_idx[pos] = e.idx;
+            *slot += 1;
+        }
+
+        // First-fit sweep in ascending primary-bucket order. Each
+        // same-bucket run goes through the backend's run primitive;
+        // whatever does not fit tries its remaining candidates on the
+        // spot, and items with every candidate full drop to the cleanup
+        // pass.
+        let mut i = 0usize;
+        while i < len {
+            let bucket = host.bulk_candidate(&scratch_keys[i], 0);
+            let mut j = i + 1;
+            while j < len && host.bulk_candidate(&scratch_keys[j], 0) == bucket {
+                j += 1;
+            }
+            // A bucket holds at most RUN_BUF slots, so one fill call
+            // decides the whole run: anything past `take` could only
+            // land in an already-full bucket.
+            let take = (j - i).min(RUN_BUF);
+            let placed = host.bulk_place_run(bucket, &scratch_keys[i..i + take]);
+            swept_items += placed as u64;
+            swept_accesses += placed as u64;
+            for t in i + placed..j {
+                let key = scratch_keys[t];
+                let k = host.bulk_candidates(&key);
+                let mut placed = false;
+                for c in 1..k {
+                    if host.bulk_try_place(&key, c) {
+                        swept_items += 1;
+                        swept_accesses += c as u64 + 1;
+                        placed = true;
+                        break;
+                    }
+                }
+                if !placed {
+                    deferred.push(Entry {
+                        idx: scratch_idx[t],
+                        key,
+                    });
+                }
+            }
+            i = j;
+        }
+    }
+    host.bulk_record_swept(swept_items, swept_accesses);
+
+    // Bounded cuckoo cleanup: the overflow tail re-inserts with eviction
+    // enabled, in original submission order so failures land on the same
+    // items a serial tail would report them for, with the next items'
+    // candidate buckets prefetched a window ahead.
+    deferred.sort_unstable_by_key(|e| e.idx);
+    for i in 0..deferred.len() {
+        if let Some(ahead) = deferred.get(i + LOOKAHEAD) {
+            let k = host.bulk_candidates(&ahead.key);
+            for c in 0..k {
+                host.bulk_prefetch(host.bulk_candidate(&ahead.key, c));
+            }
+        }
+        let e = &deferred[i];
+        results[e.idx as usize] = host.bulk_insert(&e.key);
+    }
+    results
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::config::CuckooConfig;
+    use crate::dvcf::Dvcf;
+    use crate::kvcf::KVcf;
+    use crate::vcf::VerticalCuckooFilter;
+    use vcf_traits::Filter;
+
+    fn key(i: u64) -> Vec<u8> {
+        format!("bulk-{i}").into_bytes()
+    }
+
+    /// Every `Ok` item must be contained and the occupancy must equal
+    /// the `Ok` count — the membership-equivalence contract.
+    fn check_bulk_contract<F: Filter>(filter: &mut F, n: u64) {
+        let keys: Vec<Vec<u8>> = (0..n).map(key).collect();
+        let results = filter.build_from_iter(&mut keys.iter().map(Vec::as_slice));
+        assert_eq!(results.len(), keys.len());
+        let ok = results.iter().filter(|r| r.is_ok()).count();
+        assert_eq!(filter.len(), ok, "occupancy must equal Ok count");
+        for (item, result) in keys.iter().zip(&results) {
+            if result.is_ok() {
+                assert!(filter.contains(item), "acknowledged item lost");
+            }
+        }
+    }
+
+    #[test]
+    fn vcf_bulk_build_contract_at_95_percent() {
+        let mut f = VerticalCuckooFilter::new(CuckooConfig::new(1 << 10).with_seed(3)).unwrap();
+        let n = f.capacity() as u64;
+        check_bulk_contract(&mut f, n);
+        assert!(
+            f.load_factor() > 0.95,
+            "bulk build must still reach 95%: {}",
+            f.load_factor()
+        );
+    }
+
+    #[test]
+    fn dvcf_bulk_build_contract() {
+        let mut f = Dvcf::with_r(CuckooConfig::new(1 << 9).with_seed(5), 0.5).unwrap();
+        let n = (f.capacity() as f64 * 0.93) as u64;
+        check_bulk_contract(&mut f, n);
+    }
+
+    #[test]
+    fn kvcf_bulk_build_contract() {
+        let config = CuckooConfig::new(1 << 8)
+            .with_fingerprint_bits(16)
+            .with_seed(7);
+        let mut f = KVcf::new(config, 6).unwrap();
+        let n = (f.capacity() as f64 * 0.95) as u64;
+        check_bulk_contract(&mut f, n);
+    }
+
+    #[test]
+    fn bulk_matches_serial_at_moderate_load() {
+        let config = CuckooConfig::new(1 << 9).with_seed(11);
+        let keys: Vec<Vec<u8>> = (0..(1u64 << 11) * 9 / 10).map(key).collect();
+        let refs: Vec<&[u8]> = keys.iter().map(Vec::as_slice).collect();
+
+        let mut serial = VerticalCuckooFilter::new(config).unwrap();
+        let serial_results = serial.insert_batch(&refs);
+        let mut bulk = VerticalCuckooFilter::new(config).unwrap();
+        let bulk_results = bulk.build_from_iter(&mut refs.iter().copied());
+
+        // At ≤90% load neither path should reject anything, and both
+        // must agree item-for-item on membership afterwards.
+        assert!(serial_results.iter().all(Result::is_ok));
+        assert!(bulk_results.iter().all(Result::is_ok));
+        assert_eq!(serial.len(), bulk.len());
+        for k in &refs {
+            assert!(bulk.contains(k), "bulk lost an acknowledged item");
+        }
+    }
+
+    #[test]
+    fn bulk_counters_account_like_serial() {
+        let mut f = VerticalCuckooFilter::new(CuckooConfig::new(1 << 8).with_seed(13)).unwrap();
+        let keys: Vec<Vec<u8>> = (0..900).map(key).collect();
+        f.build_from_iter(&mut keys.iter().map(Vec::as_slice));
+        let s = f.stats();
+        assert_eq!(s.inserts.calls, 900, "one recorded insert per item");
+        // 2 hashes per item + 1 per relocation, same as serial.
+        assert_eq!(s.hash_computations, 2 * s.inserts.calls + s.kicks);
+    }
+
+    #[test]
+    fn bulk_duplicates_keep_multiset_semantics() {
+        let mut f = VerticalCuckooFilter::new(CuckooConfig::new(1 << 8).with_seed(17)).unwrap();
+        let item: &[u8] = b"dup";
+        let results = f.build_from_iter(&mut [item, item, item].into_iter());
+        assert!(results.iter().all(Result::is_ok));
+        assert_eq!(f.len(), 3);
+        assert!(f.delete(item));
+        assert!(f.contains(item), "remaining copies must survive a delete");
+    }
+
+    #[test]
+    fn bulk_empty_input_is_a_noop() {
+        let mut f = VerticalCuckooFilter::new(CuckooConfig::new(1 << 8)).unwrap();
+        let results = f.build_from_iter(&mut std::iter::empty());
+        assert!(results.is_empty());
+        assert!(f.is_empty());
+        assert_eq!(f.stats().inserts.calls, 0);
+    }
+}

@@ -1,6 +1,7 @@
 //! The Differentiated Vertical Cuckoo Filter (Section IV-B).
 
 use crate::bitmask::MaskPair;
+use crate::bulk::{self, BulkHost};
 use crate::config::{CuckooConfig, EvictionPolicy};
 use crate::evict;
 use crate::key;
@@ -317,6 +318,62 @@ impl Dvcf {
     }
 }
 
+impl BulkHost for Dvcf {
+    /// `(fingerprint, candidate buckets, candidate count)` — two or four
+    /// candidates depending on the interval judgment, stored narrow.
+    type Key = (u32, [u32; 4], u32);
+
+    fn bulk_buckets(&self) -> usize {
+        self.table.buckets()
+    }
+
+    fn bulk_key(&self, item: &[u8]) -> Self::Key {
+        let (fingerprint, b1) = self.key_of(item);
+        let hfp = self.hash.hash_fingerprint(fingerprint);
+        let (cands, len) = self.candidate_list(fingerprint, b1, hfp);
+        (fingerprint, cands.map(|b| b as u32), len as u32)
+    }
+
+    fn bulk_candidates(&self, key: &Self::Key) -> usize {
+        key.2 as usize
+    }
+
+    fn bulk_candidate(&self, key: &Self::Key, e: usize) -> usize {
+        key.1[e] as usize
+    }
+
+    fn bulk_prefetch(&self, bucket: usize) {
+        self.table.prefetch_bucket(bucket);
+    }
+
+    fn bulk_try_place(&mut self, key: &Self::Key, e: usize) -> bool {
+        self.table.try_insert(key.1[e] as usize, key.0).is_some()
+    }
+
+    fn bulk_place_run(&mut self, bucket: usize, keys: &[Self::Key]) -> usize {
+        let mut fps = [0u64; vcf_table::MAX_BUCKET_SLOTS];
+        let take = keys.len().min(fps.len());
+        for (fp, key) in fps.iter_mut().zip(&keys[..take]) {
+            *fp = u64::from(key.0);
+        }
+        self.table.fill(bucket, &fps[..take])
+    }
+
+    fn bulk_record_keys(&self, n: u64) {
+        self.counters.add_hashes(2 * n);
+    }
+
+    fn bulk_record_swept(&self, items: u64, bucket_accesses: u64) {
+        let slots = self.table.slots_per_bucket() as u64;
+        self.counters
+            .record_inserts(items, bucket_accesses * slots, bucket_accesses);
+    }
+
+    fn bulk_insert(&mut self, key: &Self::Key) -> Result<(), InsertError> {
+        self.insert_prehashed(key.0, key.1.map(|b| b as usize), key.2 as usize)
+    }
+}
+
 impl Filter for Dvcf {
     /// Algorithm 4 under the configured eviction policy.
     fn insert(&mut self, item: &[u8]) -> Result<(), InsertError> {
@@ -354,6 +411,15 @@ impl Filter for Dvcf {
         out
     }
 
+    /// Sort-by-bucket bulk construction (see [`crate::bulk`]); the
+    /// two-candidate items drop to the cleanup pass after round 1.
+    fn build_from_iter(
+        &mut self,
+        items: &mut dyn Iterator<Item = &[u8]>,
+    ) -> Vec<Result<(), InsertError>> {
+        bulk::build_from_iter(self, items)
+    }
+
     /// Algorithm 5.
     fn contains(&self, item: &[u8]) -> bool {
         let (fingerprint, b1) = self.key_of(item);
@@ -389,16 +455,10 @@ impl Filter for Dvcf {
         let slots = self.table.slots_per_bucket() as u64;
         let mut out = Vec::with_capacity(items.len());
         for &(fingerprint, cands, len) in &keys {
-            let mut probes = 0u64;
-            let mut found = false;
-            for &bucket in &cands[..len] {
-                probes += slots;
-                if self.table.contains(bucket, fingerprint) {
-                    found = true;
-                    break;
-                }
-            }
-            self.counters.record_lookup(probes, len as u64);
+            // One multi-bucket probe over the whole candidate list
+            // (gather-compare under AVX2; no per-bucket early exit).
+            let found = self.table.contains_any(&cands[..len], fingerprint);
+            self.counters.record_lookup(len as u64 * slots, len as u64);
             out.push(found);
         }
         out

@@ -1,6 +1,7 @@
 //! The generalized k-VCF (Section III-C): `k ≥ 2` candidate buckets with
 //! per-slot mark bits.
 
+use crate::bulk::{self, BulkHost};
 use crate::config::{CuckooConfig, EvictionPolicy};
 use crate::evict;
 use crate::key;
@@ -396,6 +397,70 @@ impl KVcf {
     }
 }
 
+impl BulkHost for KVcf {
+    /// `(fingerprint, B1, hash(η))` — candidates derive by Equ. 6.
+    type Key = (u32, u32, u64);
+
+    fn bulk_buckets(&self) -> usize {
+        self.table.buckets()
+    }
+
+    fn bulk_key(&self, item: &[u8]) -> Self::Key {
+        let (fingerprint, b1) = self.key_of(item);
+        let hfp = self.hash.hash_fingerprint(fingerprint);
+        (fingerprint, b1 as u32, hfp)
+    }
+
+    fn bulk_candidates(&self, _key: &Self::Key) -> usize {
+        self.k()
+    }
+
+    fn bulk_candidate(&self, key: &Self::Key, e: usize) -> usize {
+        self.candidate(key.1 as usize, key.2, e)
+    }
+
+    fn bulk_prefetch(&self, bucket: usize) {
+        self.table.prefetch_bucket(bucket);
+    }
+
+    fn bulk_try_place(&mut self, key: &Self::Key, e: usize) -> bool {
+        let bucket = self.candidate(key.1 as usize, key.2, e);
+        let entry = MarkedEntry {
+            fingerprint: key.0,
+            mark: e as u8,
+        };
+        self.table.try_insert(bucket, entry).is_some()
+    }
+
+    fn bulk_place_run(&mut self, bucket: usize, keys: &[Self::Key]) -> usize {
+        // A run is grouped by primary candidate, so every entry carries
+        // mark 0 (Theorem 2's e = 0 coset).
+        let mut entries = [MarkedEntry {
+            fingerprint: 0,
+            mark: 0,
+        }; vcf_table::MAX_BUCKET_SLOTS];
+        let take = keys.len().min(entries.len());
+        for (entry, key) in entries.iter_mut().zip(&keys[..take]) {
+            entry.fingerprint = key.0;
+        }
+        self.table.fill(bucket, &entries[..take])
+    }
+
+    fn bulk_record_keys(&self, n: u64) {
+        self.counters.add_hashes(2 * n);
+    }
+
+    fn bulk_record_swept(&self, items: u64, bucket_accesses: u64) {
+        let slots = self.table.slots_per_bucket() as u64;
+        self.counters
+            .record_inserts(items, bucket_accesses * slots, bucket_accesses);
+    }
+
+    fn bulk_insert(&mut self, key: &Self::Key) -> Result<(), InsertError> {
+        self.insert_prehashed(key.0, key.1 as usize, key.2)
+    }
+}
+
 impl Filter for KVcf {
     fn insert(&mut self, item: &[u8]) -> Result<(), InsertError> {
         let (fingerprint, b1) = self.key_of(item);
@@ -428,6 +493,15 @@ impl Filter for KVcf {
             }
         }
         out
+    }
+
+    /// Sort-by-bucket bulk construction (see [`crate::bulk`]); the mark
+    /// stored with each placement is the round index `e`.
+    fn build_from_iter(
+        &mut self,
+        items: &mut dyn Iterator<Item = &[u8]>,
+    ) -> Vec<Result<(), InsertError>> {
+        bulk::build_from_iter(self, items)
     }
 
     fn contains(&self, item: &[u8]) -> bool {
@@ -470,24 +544,23 @@ impl Filter for KVcf {
         let k = self.k();
         let slots = self.table.slots_per_bucket() as u64;
         let mut out = Vec::with_capacity(items.len());
+        let mut buckets = Vec::with_capacity(k);
+        let mut entries = Vec::with_capacity(k);
         for &(fingerprint, b1, hfp) in &keys {
-            let mut probes = 0u64;
-            let mut found = false;
+            // One multi-bucket probe over all k candidates, each with its
+            // own (fingerprint, mark) pattern — the per-element pattern
+            // form of the AVX2 gather-compare.
+            buckets.clear();
+            entries.clear();
             for e in 0..k {
-                let bucket = self.candidate(b1, hfp, e);
-                probes += slots;
-                if self.table.contains(
-                    bucket,
-                    MarkedEntry {
-                        fingerprint,
-                        mark: e as u8,
-                    },
-                ) {
-                    found = true;
-                    break;
-                }
+                buckets.push(self.candidate(b1, hfp, e));
+                entries.push(MarkedEntry {
+                    fingerprint,
+                    mark: e as u8,
+                });
             }
-            self.counters.record_lookup(probes, k as u64);
+            let found = self.table.contains_any(&buckets, &entries);
+            self.counters.record_lookup(k as u64 * slots, k as u64);
             out.push(found);
         }
         out

@@ -51,6 +51,8 @@
 #![warn(missing_docs)]
 
 mod bitmask;
+/// Sort-by-bucket bulk construction shared by the cuckoo variants.
+pub mod bulk;
 mod concurrent;
 mod config;
 mod dvcf;
@@ -73,6 +75,10 @@ pub use sharded::{ShardRouter, ShardedConcurrentVcf, ShardedVcf};
 pub use snapshot::SnapshotError;
 pub use vcf::VerticalCuckooFilter;
 pub use vertical::{Candidates, VerticalParams};
+
+// Re-exported so benches and downstream crates can pin a probe kernel
+// (`set_kernel`) without depending on `vcf-table` directly.
+pub use vcf_table::KernelKind;
 
 pub(crate) mod key {
     //! Key-to-(fingerprint, index) derivation shared by the whole family.

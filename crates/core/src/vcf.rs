@@ -1,6 +1,7 @@
 //! The Vertical Cuckoo Filter (Algorithms 1–3) — also covers IVCF.
 
 use crate::bitmask::MaskPair;
+use crate::bulk::{self, BulkHost};
 use crate::config::{CuckooConfig, EvictionPolicy};
 use crate::evict;
 use crate::key;
@@ -8,7 +9,7 @@ use crate::vertical::{Candidates, VerticalParams};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use vcf_hash::HashKind;
-use vcf_table::FingerprintTable;
+use vcf_table::{FingerprintTable, KernelKind};
 use vcf_traits::{BuildError, Counters, Filter, InsertError, Stats};
 
 /// The Vertical Cuckoo Filter of Section III — and, by choosing the
@@ -187,6 +188,17 @@ impl VerticalCuckooFilter {
         self.seed
     }
 
+    /// The probe kernel the fingerprint table dispatches to.
+    pub fn kernel_kind(&self) -> KernelKind {
+        self.table.kernel_kind()
+    }
+
+    /// Requests a probe kernel for the fingerprint table, returning the
+    /// effective kind (requests the layout cannot honor clamp to SWAR).
+    pub fn set_kernel(&mut self, kind: KernelKind) -> KernelKind {
+        self.table.set_kernel(kind)
+    }
+
     /// Raw fingerprint stored in `(bucket, slot)`; `0` = empty. Used by
     /// snapshot persistence.
     pub(crate) fn slot_value(&self, bucket: usize, slot: usize) -> u32 {
@@ -359,6 +371,67 @@ impl VerticalCuckooFilter {
     }
 }
 
+impl BulkHost for VerticalCuckooFilter {
+    /// `(fingerprint, candidate buckets)` — all four candidates
+    /// precomputed, stored narrow so sort entries stay 32 bytes.
+    type Key = (u32, [u32; 4]);
+
+    fn bulk_buckets(&self) -> usize {
+        self.table.buckets()
+    }
+
+    fn bulk_key(&self, item: &[u8]) -> Self::Key {
+        let (fingerprint, b1) = self.key_of(item);
+        let hfp = self.hash.hash_fingerprint(fingerprint);
+        let cands = self.params.candidates(b1, hfp);
+        (fingerprint, cands.buckets.map(|b| b as u32))
+    }
+
+    fn bulk_candidates(&self, _key: &Self::Key) -> usize {
+        4
+    }
+
+    fn bulk_candidate(&self, key: &Self::Key, e: usize) -> usize {
+        debug_assert!(e < key.1.len());
+        key.1[e] as usize
+    }
+
+    fn bulk_prefetch(&self, bucket: usize) {
+        self.table.prefetch_bucket(bucket);
+    }
+
+    fn bulk_try_place(&mut self, key: &Self::Key, e: usize) -> bool {
+        debug_assert!(e < key.1.len());
+        self.table.try_insert(key.1[e] as usize, key.0).is_some()
+    }
+
+    fn bulk_place_run(&mut self, bucket: usize, keys: &[Self::Key]) -> usize {
+        let mut fps = [0u64; vcf_table::MAX_BUCKET_SLOTS];
+        let take = keys.len().min(fps.len());
+        for (fp, key) in fps.iter_mut().zip(&keys[..take]) {
+            *fp = u64::from(key.0);
+        }
+        self.table.fill(bucket, &fps[..take])
+    }
+
+    fn bulk_record_keys(&self, n: u64) {
+        self.counters.add_hashes(2 * n); // hash(x) + hash(η), as serial
+    }
+
+    fn bulk_record_swept(&self, items: u64, bucket_accesses: u64) {
+        let slots = self.table.slots_per_bucket() as u64;
+        self.counters
+            .record_inserts(items, bucket_accesses * slots, bucket_accesses);
+    }
+
+    fn bulk_insert(&mut self, key: &Self::Key) -> Result<(), InsertError> {
+        let candidates = Candidates {
+            buckets: key.1.map(|b| b as usize),
+        };
+        self.insert_prehashed(key.0, candidates)
+    }
+}
+
 impl Filter for VerticalCuckooFilter {
     /// Algorithm 1 under the configured eviction policy (random walk
     /// with rollback-on-failure by default, BFS path search with
@@ -401,6 +474,17 @@ impl Filter for VerticalCuckooFilter {
         out
     }
 
+    /// Sort-by-bucket bulk construction (see [`crate::bulk`]): hash all
+    /// items, counting-sort by candidate bucket round by round, sweep
+    /// the table in order with first-fit placement, then run the
+    /// eviction path only on the deferred overflow tail.
+    fn build_from_iter(
+        &mut self,
+        items: &mut dyn Iterator<Item = &[u8]>,
+    ) -> Vec<Result<(), InsertError>> {
+        bulk::build_from_iter(self, items)
+    }
+
     /// Algorithm 2 — probes all four candidate entries (duplicates
     /// included, matching the paper's constant-time lookup behaviour).
     fn contains(&self, item: &[u8]) -> bool {
@@ -440,17 +524,14 @@ impl Filter for VerticalCuckooFilter {
         let slots = self.table.slots_per_bucket() as u64;
         let mut out = Vec::with_capacity(items.len());
         for &(fingerprint, cands) in &keys {
-            let mut probes = 0u64;
-            let mut found = false;
-            for bucket in cands.iter() {
-                probes += slots;
-                if self.table.contains(bucket, fingerprint) {
-                    found = true;
-                    break;
-                }
-            }
-            self.counters
-                .record_lookup(probes, cands.buckets.len() as u64);
+            // One multi-bucket probe for all four candidates: under AVX2
+            // on single-word buckets this is a gather-compare, with no
+            // per-bucket early exit (probes reflect that).
+            let found = self.table.contains_any(&cands.buckets, fingerprint);
+            self.counters.record_lookup(
+                cands.buckets.len() as u64 * slots,
+                cands.buckets.len() as u64,
+            );
             out.push(found);
         }
         out

@@ -1,6 +1,7 @@
 //! Bucketed storage of non-zero fingerprints.
 
 use crate::bucket::{BucketEngine, BucketWords};
+use crate::kernels::KernelKind;
 use crate::{MAX_BUCKET_SLOTS, MAX_FINGERPRINT_BITS, MIN_FINGERPRINT_BITS};
 use vcf_traits::BuildError;
 
@@ -121,6 +122,20 @@ impl FingerprintTable {
         &self.engine
     }
 
+    /// The probe-kernel variant this table dispatches to.
+    #[inline]
+    pub fn kernel_kind(&self) -> KernelKind {
+        self.engine.kernel_kind()
+    }
+
+    /// Pins this table's probes to `kind` (clamped to what the host CPU
+    /// and geometry support) and returns the kind actually in effect —
+    /// the differential harness and benches' forcing hook.
+    pub fn set_kernel(&mut self, kind: KernelKind) -> KernelKind {
+        self.engine = self.engine.with_kernel(kind);
+        self.engine.kernel_kind()
+    }
+
     /// Loads `bucket`'s words once for repeated kernel probes.
     #[inline]
     pub fn read_bucket(&self, bucket: usize) -> BucketWords {
@@ -189,27 +204,61 @@ impl FingerprintTable {
     /// Panics if `fingerprint` is zero (the empty sentinel).
     pub fn try_insert(&mut self, bucket: usize, fingerprint: u32) -> Option<usize> {
         assert!(fingerprint != 0, "fingerprint 0 is the empty sentinel");
-        let loaded = self.read_bucket(bucket);
-        let slot = self.engine.first_empty_slot(&loaded)?;
+        let slot = self.engine.probe_first_empty(&self.words, bucket)?;
         self.engine
             .set_slot(&mut self.words, bucket, slot, u64::from(fingerprint));
         self.occupied += 1;
         Some(slot)
     }
 
+    /// First-fit fills `bucket` with the leading `fingerprints`, loading
+    /// and storing the bucket words once — the bulk build's run
+    /// primitive (see [`BucketEngine::fill_bucket`]). Returns how many
+    /// were placed (always a prefix; fewer than asked means the bucket
+    /// is now full).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any fingerprint is zero (the empty sentinel).
+    pub fn fill(&mut self, bucket: usize, fingerprints: &[u64]) -> usize {
+        assert!(
+            fingerprints.iter().all(|&fp| fp != 0),
+            "fingerprint 0 is the empty sentinel"
+        );
+        let placed = self
+            .engine
+            .fill_bucket(&mut self.words, bucket, fingerprints);
+        self.occupied += placed;
+        placed
+    }
+
     /// Returns the slot holding `fingerprint` in `bucket`, if any.
     #[inline]
     pub fn find(&self, bucket: usize, fingerprint: u32) -> Option<usize> {
-        let loaded = self.read_bucket(bucket);
-        self.engine.find_in_bucket(&loaded, u64::from(fingerprint))
+        debug_assert!(bucket < self.buckets, "bucket {bucket} out of range");
+        self.engine
+            .probe_find(&self.words, bucket, u64::from(fingerprint))
     }
 
     /// Whether `bucket` holds at least one copy of `fingerprint`.
     #[inline]
     pub fn contains(&self, bucket: usize, fingerprint: u32) -> bool {
-        let loaded = self.read_bucket(bucket);
+        debug_assert!(bucket < self.buckets, "bucket {bucket} out of range");
         self.engine
-            .contains_in_bucket(&loaded, u64::from(fingerprint))
+            .probe_contains(&self.words, bucket, u64::from(fingerprint))
+    }
+
+    /// Whether any bucket of `buckets` holds `fingerprint` — the batched
+    /// candidate probe. Under AVX2 with single-word buckets every
+    /// candidate is tested in one or two 64-bit gathers.
+    pub fn contains_any(&self, buckets: &[usize], fingerprint: u32) -> bool {
+        debug_assert!(buckets.iter().all(|&b| b < self.buckets));
+        let pattern = u64::from(fingerprint);
+        let patterns = [pattern; 8];
+        buckets.chunks(8).any(|chunk| {
+            self.engine
+                .probe_contains_any(&self.words, chunk, &patterns[..chunk.len()])
+        })
     }
 
     /// Removes one copy of `fingerprint` from `bucket`; returns whether a
@@ -237,14 +286,14 @@ impl FingerprintTable {
     /// goal test.
     #[inline]
     pub fn first_empty_slot(&self, bucket: usize) -> Option<usize> {
-        let loaded = self.read_bucket(bucket);
-        self.engine.first_empty_slot(&loaded)
+        debug_assert!(bucket < self.buckets, "bucket {bucket} out of range");
+        self.engine.probe_first_empty(&self.words, bucket)
     }
 
     /// Number of occupied slots in `bucket`.
     pub fn bucket_len(&self, bucket: usize) -> usize {
-        let loaded = self.read_bucket(bucket);
-        self.engine.bucket_len(&loaded)
+        debug_assert!(bucket < self.buckets, "bucket {bucket} out of range");
+        self.engine.probe_len(&self.words, bucket)
     }
 
     /// Swaps `fingerprint` with the resident of `(bucket, slot)` and

@@ -1,0 +1,123 @@
+//! AVX2 bucket kernels: the SWAR broadcast-compare at 4×64-bit width.
+//!
+//! Both kernels run the exact per-word math of the scalar SWAR path on
+//! `__m256i` elements — same constants, same carry-free add — so their
+//! masked results are bit-identical to the fallback. All functions here
+//! are `#[target_feature(enable = "avx2")]` and unsafe to call; the
+//! safe dispatch wrappers (and the SAFETY obligations) live in the
+//! parent module.
+
+use super::{WordLayout, MAX_WORDS};
+use core::arch::x86_64::{
+    __m256i, _mm256_add_epi64, _mm256_and_si256, _mm256_castsi256_pd, _mm256_cmpeq_epi64,
+    _mm256_cmpgt_epi64, _mm256_i64gather_epi64, _mm256_maskload_epi64, _mm256_movemask_pd,
+    _mm256_or_si256, _mm256_set1_epi64x, _mm256_setr_epi64x, _mm256_setzero_si256,
+    _mm256_storeu_si256, _mm256_xor_si256,
+};
+
+/// The SWAR match step on four words at once: MSB of a lane set iff its
+/// `field` bits in `x` equal the broadcast pattern.
+#[target_feature(enable = "avx2")]
+#[inline]
+fn match_step(x: __m256i, pb: __m256i, fb: __m256i, lows: __m256i, highs: __m256i) -> __m256i {
+    let y = _mm256_and_si256(_mm256_xor_si256(x, pb), fb);
+    let t = _mm256_add_epi64(_mm256_and_si256(y, lows), lows);
+    _mm256_xor_si256(_mm256_and_si256(_mm256_or_si256(t, y), highs), highs)
+}
+
+/// Raw (not yet active-masked) per-word match masks for one bucket.
+///
+/// # Safety
+///
+/// Requires AVX2: callers must have observed
+/// `is_x86_feature_detected!("avx2")` return true on this host. `ptr`
+/// must point at `layout.words` readable `u64`s (the bucket's words).
+#[allow(unsafe_code)]
+#[target_feature(enable = "avx2")]
+pub(super) unsafe fn match_words(
+    layout: &WordLayout,
+    ptr: *const u64,
+    pattern: u64,
+    field: u64,
+) -> [u64; MAX_WORDS] {
+    // Broadcasting via one scalar multiply sidesteps AVX2's missing
+    // 64-bit vector multiply; copies cannot overlap because a lane value
+    // fits its width.
+    let pb = _mm256_set1_epi64x(pattern.wrapping_mul(layout.ones) as i64);
+    let fb = _mm256_set1_epi64x(field.wrapping_mul(layout.ones) as i64);
+    let lows = _mm256_set1_epi64x(layout.lows as i64);
+    let highs = _mm256_set1_epi64x(layout.highs as i64);
+    let words = layout.words as usize;
+    debug_assert!(words <= MAX_WORDS);
+    let mut out = [0u64; MAX_WORDS];
+    let mut j = 0usize;
+    while j < words {
+        let n = (words - j).min(4);
+        // Element k loads iff k < n; masked-out elements read as zero
+        // and are architecturally guaranteed not to touch memory.
+        let live = _mm256_cmpgt_epi64(_mm256_set1_epi64x(n as i64), _mm256_setr_epi64x(0, 1, 2, 3));
+        // SAFETY: the mask restricts the load to the `n` words at
+        // `ptr + j .. ptr + j + n`, all in bounds per the caller
+        // contract (`j + n <= layout.words`).
+        let x = unsafe { _mm256_maskload_epi64(ptr.add(j).cast::<i64>(), live) };
+        let m = match_step(x, pb, fb, lows, highs);
+        let mut lanes = [0u64; 4];
+        // SAFETY: `lanes` is a 32-byte local buffer; the unaligned
+        // store writes exactly 32 bytes into it.
+        unsafe { _mm256_storeu_si256(lanes.as_mut_ptr().cast::<__m256i>(), m) };
+        out[j..j + n].copy_from_slice(&lanes[..n]);
+        j += n;
+    }
+    out
+}
+
+/// Gather-compare over four single-word buckets: bit `k` of the result
+/// is set iff bucket word `idx[k]` holds a live lane whose `field` bits
+/// equal `patterns[k]`.
+///
+/// # Safety
+///
+/// Requires AVX2: callers must have observed
+/// `is_x86_feature_detected!("avx2")` return true on this host. Every
+/// `idx[k]` must be an in-bounds word index of the table buffer at
+/// `ptr` (single-word buckets: bucket id == word index).
+#[allow(unsafe_code)]
+#[target_feature(enable = "avx2")]
+pub(super) unsafe fn gather_match(
+    layout: &WordLayout,
+    ptr: *const u64,
+    idx: [i64; 4],
+    patterns: [u64; 4],
+    field: u64,
+) -> u8 {
+    // SAFETY: element k reads `ptr[idx[k]]`, in bounds per the caller
+    // contract.
+    let x = unsafe {
+        _mm256_i64gather_epi64::<8>(
+            ptr.cast::<i64>(),
+            _mm256_setr_epi64x(idx[0], idx[1], idx[2], idx[3]),
+        )
+    };
+    // Per-element patterns: each candidate bucket may look for a
+    // different lane value (k-VCF marks differ per candidate).
+    let pb = _mm256_setr_epi64x(
+        patterns[0].wrapping_mul(layout.ones) as i64,
+        patterns[1].wrapping_mul(layout.ones) as i64,
+        patterns[2].wrapping_mul(layout.ones) as i64,
+        patterns[3].wrapping_mul(layout.ones) as i64,
+    );
+    let fb = _mm256_set1_epi64x(field.wrapping_mul(layout.ones) as i64);
+    let lows = _mm256_set1_epi64x(layout.lows as i64);
+    let highs = _mm256_set1_epi64x(layout.highs as i64);
+    let m = _mm256_and_si256(
+        match_step(x, pb, fb, lows, highs),
+        _mm256_set1_epi64x(layout.active[0] as i64),
+    );
+    // A zero element means "no live lane matched"; collect the per-
+    // element verdicts via the sign bit of the all-ones compare result.
+    let missed = _mm256_movemask_pd(_mm256_castsi256_pd(_mm256_cmpeq_epi64(
+        m,
+        _mm256_setzero_si256(),
+    )));
+    !(missed as u8) & 0x0f
+}

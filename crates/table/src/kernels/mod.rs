@@ -1,0 +1,380 @@
+//! Runtime-dispatched SIMD bucket kernels (AVX2 on x86_64, NEON on
+//! aarch64) over the word-level SWAR layout.
+//!
+//! The SWAR kernels in [`bucket`](crate::bucket) probe one 128-bit
+//! segment at a time. On hosts with wider vector units the same
+//! broadcast-compare runs over every word of a bucket at once, and — for
+//! single-word buckets — over four *candidate buckets* at once via a
+//! 64-bit gather. This module holds:
+//!
+//! * [`KernelKind`], the dispatch decision. It is resolved **once** at
+//!   engine construction ([`detect`]) and cached as a plain enum field;
+//!   no probe ever re-runs CPU feature detection.
+//! * [`WordLayout`], the engine geometry re-derived at *word* (not
+//!   segment) granularity: per-word broadcast constants plus an
+//!   active-lane MSB mask and base-slot table, so the vector kernels can
+//!   treat a bucket as a flat run of `u64`s.
+//! * Safe dispatch wrappers around the per-arch `unsafe` kernels. All
+//!   `unsafe` in this crate's SIMD path lives inside
+//!   `crates/table/src/kernels/` — the `simd-confinement` lint rule
+//!   enforces exactly that.
+//!
+//! # Eligibility (straddle-free layouts)
+//!
+//! The vector kernels reuse the SWAR compare at 64-bit element width, so
+//! they require every lane to sit wholly inside one `u64` at uniform
+//! offsets `{0, w, 2w, …}`. That holds iff a segment fits in one word
+//! (`words_per_seg == 1`) or the lane width divides 64 (`64 % w == 0`).
+//! Straddling geometries (e.g. 8 slots of 14 bits) are detected at
+//! construction and pinned to [`KernelKind::Swar`] — dispatch never has
+//! to reason about them again.
+//!
+//! # Kernel contract
+//!
+//! Every kernel returns results **bit-identical** to the SWAR path: the
+//! same per-lane match MSBs, hence the same first-match slot, the same
+//! containment verdicts, and the same occupancy counts. The three-way
+//! differential harness in `tests/swar_vs_scalar.rs` checks this against
+//! a scalar oracle for every kind the host can run.
+
+#[cfg(target_arch = "x86_64")]
+mod avx2;
+#[cfg(target_arch = "aarch64")]
+mod neon;
+
+/// Upper bound on `u64` words per bucket (4 segments × 2 words).
+pub(crate) const MAX_WORDS: usize = 8;
+
+/// Which probe-kernel family a [`BucketEngine`](crate::BucketEngine)
+/// dispatches to. Resolved once at construction; stored, never
+/// re-detected per call.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum KernelKind {
+    /// The portable SWAR kernels — the universal fallback, and the
+    /// reference semantics every SIMD kernel must reproduce bit for bit.
+    Swar,
+    /// 256-bit AVX2 kernels (x86_64, runtime-detected).
+    Avx2,
+    /// 128-bit NEON kernels (aarch64).
+    Neon,
+}
+
+impl std::fmt::Display for KernelKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            Self::Swar => "swar",
+            Self::Avx2 => "avx2",
+            Self::Neon => "neon",
+        })
+    }
+}
+
+/// The bucket geometry flattened to word granularity: everything a
+/// 64-bit-element vector kernel needs, precomputed at construction.
+///
+/// `ones`/`lows`/`highs` are the SWAR broadcast constants for the
+/// *maximal* lane population of a word; words holding fewer live lanes
+/// (a short final segment) are corrected by `active`, the per-word mask
+/// of real-lane MSBs. The `lows`-masked add can never carry across lane
+/// boundaries, so phantom-lane garbage cannot leak into live lanes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub(crate) struct WordLayout {
+    /// Lane LSB broadcast constant for a fully-populated word.
+    pub(crate) ones: u64,
+    /// All lane bits below the MSB, for the carry trick.
+    pub(crate) lows: u64,
+    /// Lane MSB mask for a fully-populated word.
+    pub(crate) highs: u64,
+    /// Per-word mask of the MSBs of *live* lanes (zero past `words`).
+    pub(crate) active: [u64; MAX_WORDS],
+    /// Slot index of each word's first lane.
+    pub(crate) base_slot: [u8; MAX_WORDS],
+    /// Lane width in bits.
+    pub(crate) width: u32,
+    /// `u64` words per bucket.
+    pub(crate) words: u8,
+    /// Whether every lane is word-aligned at uniform offsets (see the
+    /// module docs); SIMD kinds are only selectable when this holds.
+    pub(crate) eligible: bool,
+}
+
+impl WordLayout {
+    /// Derives the word-level view of a bucket geometry. Caller passes
+    /// the segment layout already validated by the engine constructor.
+    pub(crate) fn analyze(
+        slots: usize,
+        width: u32,
+        lanes_per_seg: usize,
+        segs: usize,
+        words_per_seg: usize,
+    ) -> Self {
+        let words = segs * words_per_seg;
+        debug_assert!(words <= MAX_WORDS);
+        let eligible = words_per_seg == 1 || 64 % width == 0;
+        let mut layout = Self {
+            ones: 0,
+            lows: 0,
+            highs: 0,
+            active: [0; MAX_WORDS],
+            base_slot: [0; MAX_WORDS],
+            width,
+            words: words as u8,
+            eligible,
+        };
+        if !eligible {
+            return layout;
+        }
+        let lanes_per_word = lanes_per_seg.min((64 / width) as usize).max(1);
+        for i in 0..lanes_per_word {
+            layout.ones |= 1u64 << (i as u32 * width);
+        }
+        layout.highs = layout.ones << (width - 1);
+        layout.lows = layout.highs - layout.ones;
+        let mut seen = [false; MAX_WORDS];
+        for slot in 0..slots {
+            let seg = slot / lanes_per_seg;
+            let bit = (slot % lanes_per_seg) as u32 * width;
+            let word = seg * words_per_seg + (bit / 64) as usize;
+            let shift = bit % 64;
+            debug_assert!(shift + width <= 64, "straddle in an eligible layout");
+            debug_assert!(word < MAX_WORDS);
+            layout.active[word] |= 1u64 << (shift + width - 1);
+            if !seen[word] {
+                seen[word] = true;
+                layout.base_slot[word] = slot as u8;
+            }
+        }
+        layout
+    }
+
+    /// Whether the per-bucket vector kernels are worth dispatching to:
+    /// an eligible layout spanning at least two words (a single-word
+    /// bucket is already one SWAR op; only the multi-bucket gather can
+    /// beat that).
+    #[inline]
+    pub(crate) fn wide(&self) -> bool {
+        self.eligible && self.words >= 2
+    }
+}
+
+/// Resolves the kernel for a freshly built engine: the best SIMD kind
+/// the host supports, or [`KernelKind::Swar`] when the layout is
+/// ineligible, the CPU lacks the feature, or `VCF_FORCE_SWAR` is set
+/// (the forced-fallback CI leg — `-C target-feature=-avx2` changes
+/// codegen but not runtime CPUID, so the override must be explicit).
+pub(crate) fn detect(layout: &WordLayout) -> KernelKind {
+    if !layout.eligible || force_swar() {
+        return KernelKind::Swar;
+    }
+    #[cfg(target_arch = "x86_64")]
+    if std::arch::is_x86_feature_detected!("avx2") {
+        return KernelKind::Avx2;
+    }
+    #[cfg(target_arch = "aarch64")]
+    if std::arch::is_aarch64_feature_detected!("neon") {
+        return KernelKind::Neon;
+    }
+    KernelKind::Swar
+}
+
+/// Clamps an explicitly requested kind (differential tests, benches) to
+/// what the host CPU and the layout actually support.
+pub(crate) fn clamp(requested: KernelKind, layout: &WordLayout) -> KernelKind {
+    if !layout.eligible {
+        return KernelKind::Swar;
+    }
+    match requested {
+        KernelKind::Swar => KernelKind::Swar,
+        #[cfg(target_arch = "x86_64")]
+        KernelKind::Avx2 if std::arch::is_x86_feature_detected!("avx2") => KernelKind::Avx2,
+        #[cfg(target_arch = "aarch64")]
+        KernelKind::Neon if std::arch::is_aarch64_feature_detected!("neon") => KernelKind::Neon,
+        _ => KernelKind::Swar,
+    }
+}
+
+/// Whether `VCF_FORCE_SWAR` pins construction-time dispatch to SWAR.
+fn force_swar() -> bool {
+    std::env::var_os("VCF_FORCE_SWAR").is_some_and(|v| !v.is_empty() && v != "0")
+}
+
+/// Per-word live-lane match masks for one bucket: word `j` holds the
+/// MSB of every live lane whose `field` bits equal `pattern`, dispatch
+/// target for the engine's whole-bucket probes.
+#[cfg(target_arch = "x86_64")]
+#[allow(unsafe_code)]
+#[inline]
+pub(crate) fn match_words(
+    layout: &WordLayout,
+    words: &[u64],
+    base: usize,
+    pattern: u64,
+    field: u64,
+) -> [u64; MAX_WORDS] {
+    debug_assert!(base + layout.words as usize <= words.len());
+    // SAFETY: the engine only dispatches here when `KernelKind::Avx2`
+    // was selected, which requires `is_x86_feature_detected!("avx2")`
+    // to have returned true at construction; the pointer covers
+    // `layout.words` in-bounds words per the assert above.
+    let raw = unsafe { avx2::match_words(layout, words.as_ptr().add(base), pattern, field) };
+    masked(layout, raw)
+}
+
+/// NEON variant of [`match_words`].
+#[cfg(target_arch = "aarch64")]
+#[allow(unsafe_code)]
+#[inline]
+pub(crate) fn match_words(
+    layout: &WordLayout,
+    words: &[u64],
+    base: usize,
+    pattern: u64,
+    field: u64,
+) -> [u64; MAX_WORDS] {
+    debug_assert!(base + layout.words as usize <= words.len());
+    // SAFETY: the engine only dispatches here when `KernelKind::Neon`
+    // was selected, which requires `is_aarch64_feature_detected!("neon")`
+    // to have returned true at construction; the pointer covers
+    // `layout.words` in-bounds words per the assert above.
+    let raw = unsafe { neon::match_words(layout, words.as_ptr().add(base), pattern, field) };
+    masked(layout, raw)
+}
+
+/// Stub for architectures with no SIMD kernels: [`detect`] and
+/// [`clamp`] never select a SIMD kind there, so this is unreachable.
+#[cfg(not(any(target_arch = "x86_64", target_arch = "aarch64")))]
+pub(crate) fn match_words(
+    layout: &WordLayout,
+    words: &[u64],
+    base: usize,
+    pattern: u64,
+    field: u64,
+) -> [u64; MAX_WORDS] {
+    debug_assert!(false, "no SIMD kernel on this architecture");
+    let _ = (layout, words, base, pattern, field);
+    [0; MAX_WORDS]
+}
+
+/// Restricts raw per-word match masks to live lanes.
+#[inline]
+fn masked(layout: &WordLayout, mut m: [u64; MAX_WORDS]) -> [u64; MAX_WORDS] {
+    for (w, active) in m.iter_mut().zip(&layout.active) {
+        *w &= active;
+    }
+    m
+}
+
+/// First matching slot across the per-word masks, in slot order —
+/// identical to the SWAR `find_field` result.
+#[inline]
+pub(crate) fn first_match(layout: &WordLayout, m: &[u64; MAX_WORDS]) -> Option<usize> {
+    debug_assert!(layout.words as usize <= MAX_WORDS);
+    for (j, &w) in m.iter().enumerate().take(layout.words as usize) {
+        if w != 0 {
+            let lane = (w.trailing_zeros() / layout.width) as usize;
+            return Some(layout.base_slot[j] as usize + lane);
+        }
+    }
+    None
+}
+
+/// Whether any lane matched.
+#[inline]
+pub(crate) fn any_match(m: &[u64; MAX_WORDS]) -> bool {
+    m.iter().any(|&w| w != 0)
+}
+
+/// Number of matching lanes.
+#[inline]
+pub(crate) fn match_count(m: &[u64; MAX_WORDS]) -> usize {
+    m.iter().map(|w| w.count_ones() as usize).sum()
+}
+
+/// Multi-bucket gather-compare for single-word buckets: bit `i` of the
+/// result is set iff `buckets[i]` holds a live lane whose `field` bits
+/// equal `patterns[i]`. Feeds the `contains_batch` candidate probes —
+/// all (up to 8) candidate buckets of an item are tested in one or two
+/// gathers instead of a serial early-exit loop.
+#[cfg(target_arch = "x86_64")]
+#[allow(unsafe_code)]
+pub(crate) fn gather_match(
+    layout: &WordLayout,
+    words: &[u64],
+    buckets: &[usize],
+    patterns: &[u64],
+    field: u64,
+) -> u8 {
+    debug_assert!(layout.words == 1, "gather path is single-word only");
+    debug_assert_eq!(buckets.len(), patterns.len());
+    debug_assert!(buckets.len() <= 8);
+    debug_assert!(buckets.iter().all(|&b| b < words.len()));
+    let mut out = 0u8;
+    let mut i = 0usize;
+    while i < buckets.len() {
+        let n = (buckets.len() - i).min(4);
+        // Pad short tails with the first index: in bounds, masked out.
+        let mut idx = [buckets[i] as i64; 4];
+        let mut pats = [patterns[i]; 4];
+        for j in 0..n {
+            idx[j] = buckets[i + j] as i64;
+            pats[j] = patterns[i + j];
+        }
+        // SAFETY: the engine only dispatches here under
+        // `KernelKind::Avx2` (runtime `is_x86_feature_detected!("avx2")`
+        // at construction), and every gathered index is a live bucket
+        // word per the asserts above (single-word buckets make the
+        // bucket id its own word index).
+        let m = unsafe { avx2::gather_match(layout, words.as_ptr(), idx, pats, field) };
+        out |= (m & ((1u8 << n) - 1)) << i;
+        i += n;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eligibility_matches_rule() {
+        // b=4, f=14: one word per segment — eligible.
+        assert!(WordLayout::analyze(4, 14, 4, 1, 1).eligible);
+        // b=8, f=16: two words per segment but 64 % 16 == 0 — eligible.
+        assert!(WordLayout::analyze(8, 16, 8, 1, 2).eligible);
+        // b=8, f=14: lanes straddle the word boundary — ineligible.
+        assert!(!WordLayout::analyze(8, 14, 8, 1, 2).eligible);
+    }
+
+    #[test]
+    fn layout_base_slots_and_active_masks() {
+        // 8 slots of 16 bits: word 0 holds slots 0..4, word 1 slots 4..8.
+        let lay = WordLayout::analyze(8, 16, 8, 1, 2);
+        assert_eq!(lay.words, 2);
+        assert_eq!(lay.base_slot[0], 0);
+        assert_eq!(lay.base_slot[1], 4);
+        assert_eq!(lay.active[0], lay.highs);
+        assert_eq!(lay.active[1], lay.highs);
+        assert!(lay.wide());
+        // 3 slots of 20 bits: one word, three live lanes.
+        let lay = WordLayout::analyze(3, 20, 3, 1, 1);
+        assert_eq!(lay.words, 1);
+        assert_eq!(lay.active[0].count_ones(), 3);
+        assert!(!lay.wide(), "single-word buckets stay on SWAR probes");
+    }
+
+    #[test]
+    fn force_swar_env_override() {
+        // Not set in the test environment by default: detection is free
+        // to pick a SIMD kind on an eligible layout.
+        let lay = WordLayout::analyze(4, 14, 4, 1, 1);
+        let kind = detect(&lay);
+        if std::env::var_os("VCF_FORCE_SWAR").is_some_and(|v| !v.is_empty() && v != "0") {
+            assert_eq!(kind, KernelKind::Swar);
+        }
+        // Ineligible layouts always pin to SWAR.
+        let straddle = WordLayout::analyze(8, 14, 8, 1, 2);
+        assert_eq!(detect(&straddle), KernelKind::Swar);
+        assert_eq!(clamp(KernelKind::Avx2, &straddle), KernelKind::Swar);
+        assert_eq!(clamp(KernelKind::Neon, &straddle), KernelKind::Swar);
+    }
+}

@@ -1,0 +1,61 @@
+//! NEON bucket kernels: the SWAR broadcast-compare at 2×64-bit width.
+//!
+//! Same per-word math and constants as the scalar SWAR path, run on
+//! `uint64x2_t` pairs with a scalar tail word, so masked results are
+//! bit-identical to the fallback. All functions here are
+//! `#[target_feature(enable = "neon")]` and unsafe to call; the safe
+//! dispatch wrappers (and the SAFETY obligations) live in the parent
+//! module.
+
+use super::{WordLayout, MAX_WORDS};
+use core::arch::aarch64::{
+    uint64x2_t, vaddq_u64, vandq_u64, vdupq_n_u64, veorq_u64, vgetq_lane_u64, vld1q_u64, vorrq_u64,
+};
+
+/// Raw (not yet active-masked) per-word match masks for one bucket.
+///
+/// # Safety
+///
+/// Requires NEON: callers must have observed
+/// `is_aarch64_feature_detected!("neon")` return true on this host.
+/// `ptr` must point at `layout.words` readable `u64`s (the bucket's
+/// words).
+#[allow(unsafe_code)]
+#[target_feature(enable = "neon")]
+pub(super) unsafe fn match_words(
+    layout: &WordLayout,
+    ptr: *const u64,
+    pattern: u64,
+    field: u64,
+) -> [u64; MAX_WORDS] {
+    let pattern_bcast = pattern.wrapping_mul(layout.ones);
+    let field_bcast = field.wrapping_mul(layout.ones);
+    let pb: uint64x2_t = vdupq_n_u64(pattern_bcast);
+    let fb: uint64x2_t = vdupq_n_u64(field_bcast);
+    let lows = vdupq_n_u64(layout.lows);
+    let highs = vdupq_n_u64(layout.highs);
+    let words = layout.words as usize;
+    debug_assert!(words <= MAX_WORDS);
+    let mut out = [0u64; MAX_WORDS];
+    let mut j = 0usize;
+    while j + 2 <= words {
+        // SAFETY: reads the two in-bounds words at `ptr + j` per the
+        // caller contract (`j + 2 <= layout.words`).
+        let x = unsafe { vld1q_u64(ptr.add(j)) };
+        let y = vandq_u64(veorq_u64(x, pb), fb);
+        let t = vaddq_u64(vandq_u64(y, lows), lows);
+        let m = veorq_u64(vandq_u64(vorrq_u64(t, y), highs), highs);
+        out[j] = vgetq_lane_u64::<0>(m);
+        out[j + 1] = vgetq_lane_u64::<1>(m);
+        j += 2;
+    }
+    if j < words {
+        // Odd tail word: the identical math at scalar width.
+        // SAFETY: `j < layout.words`, so the word is in bounds.
+        let x = unsafe { ptr.add(j).read() };
+        let y = (x ^ pattern_bcast) & field_bcast;
+        let t = (y & layout.lows).wrapping_add(layout.lows);
+        out[j] = ((t | y) & layout.highs) ^ layout.highs;
+    }
+    out
+}

@@ -19,7 +19,10 @@
 //! * [`AtomicBucketEngine`] / [`AtomicFingerprintTable`] — the lock-free
 //!   siblings: the same layout and kernels over `AtomicU64` words, with
 //!   CAS-based slot claim/replace for concurrent filters (`ConcurrentVcf`
-//!   in `vcf-core`).
+//!   in `vcf-core`),
+//! * the `kernels` module — runtime-dispatched AVX2/NEON variants of the
+//!   probe kernels ([`KernelKind`]), selected once at construction with
+//!   SWAR as the universal fallback.
 //!
 //! All tables use value `0` as the empty-slot sentinel, so the filter layer
 //! maps real fingerprints into `1..2^f` (the standard trick from the
@@ -38,9 +41,11 @@
 //! # Ok::<(), vcf_traits::BuildError>(())
 //! ```
 
-// `deny` rather than `forbid`: the one cfg-gated prefetch intrinsic in
-// `prefetch.rs` carries a scoped `#[allow(unsafe_code)]`; everything else
-// in the crate still rejects `unsafe` at compile time.
+// `deny` rather than `forbid`: the cfg-gated prefetch intrinsic in
+// `prefetch.rs` and the SIMD kernels in `kernels/` carry scoped
+// `#[allow(unsafe_code)]` items; everything else in the crate still
+// rejects `unsafe` at compile time (and `vcf-xtask lint`'s
+// `simd-confinement` rule pins `target_feature` code to `kernels/`).
 #![deny(unsafe_code)]
 // Any future `unsafe fn` must scope each unsafe operation in its own
 // block with its own SAFETY comment (also enforced by `vcf-xtask lint`).
@@ -50,6 +55,7 @@
 mod atomic_bucket;
 mod bucket;
 mod fingerprint;
+mod kernels;
 mod marked;
 mod packed;
 mod prefetch;
@@ -57,6 +63,7 @@ mod prefetch;
 pub use atomic_bucket::{AtomicBucketEngine, AtomicFingerprintTable};
 pub use bucket::{BucketEngine, BucketWords, MAX_BUCKET_SEGMENTS, MAX_LANE_BITS};
 pub use fingerprint::FingerprintTable;
+pub use kernels::KernelKind;
 pub use marked::{MarkedEntry, MarkedTable};
 pub use packed::PackedTable;
 

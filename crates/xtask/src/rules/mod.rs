@@ -12,6 +12,7 @@ pub mod crate_attrs;
 pub mod docs;
 pub mod hotpath;
 pub mod safety;
+pub mod simd;
 pub mod suppressions;
 pub mod theorem1;
 
@@ -41,6 +42,10 @@ pub const HOT_PATH_MODULES: &[&str] = &[
     "crates/core/src/vcf.rs",
     "crates/core/src/evict.rs",
 ];
+
+/// The only directory allowed to contain `#[target_feature]`-gated SIMD
+/// code; the safe `KernelKind` dispatch wrappers live at its root.
+pub const SIMD_KERNEL_DIR: &str = "crates/table/src/kernels/";
 
 /// The only modules allowed to XOR bucket indices with fingerprint
 /// masks — the Theorem-1 / Theorem-2 coset arithmetic.
@@ -82,6 +87,7 @@ pub fn all_rules() -> Vec<Box<dyn Rule>> {
         Box::new(docs::MissingDocsPublic),
         Box::new(crate_attrs::CrateUnsafeAttr),
         Box::new(suppressions::TsanSuppressions),
+        Box::new(simd::SimdConfinement),
     ]
 }
 

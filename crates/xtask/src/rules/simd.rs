@@ -1,0 +1,145 @@
+//! `simd-confinement`: `#[target_feature]` code stays in the kernels
+//! module, with SAFETY text naming the feature it requires.
+
+use super::{Rule, SIMD_KERNEL_DIR};
+use crate::diag::Diagnostic;
+use crate::lexer::TokenKind;
+use crate::source::SourceFile;
+
+/// How many lines above a `#[target_feature]` attribute we search for a
+/// safety note — `# Safety` doc sections can be several lines long.
+const WINDOW_ABOVE: u32 = 24;
+/// How many lines below the attribute the note may still appear (the
+/// attribute stack between the note and the `fn` item).
+const WINDOW_BELOW: u32 = 4;
+
+/// Flags `#[target_feature(enable = "…")]` attributes outside
+/// [`SIMD_KERNEL_DIR`], and — inside it — `unsafe fn`s whose nearby
+/// SAFETY/`# Safety` text does not name the feature the caller must
+/// have detected.
+pub struct SimdConfinement;
+
+impl Rule for SimdConfinement {
+    fn id(&self) -> &'static str {
+        "simd-confinement"
+    }
+
+    fn summary(&self) -> &'static str {
+        "`#[target_feature]` only in the kernels module, with SAFETY text naming the feature"
+    }
+
+    fn check_file(&self, file: &SourceFile, out: &mut Vec<Diagnostic>) {
+        for (k, &ti) in file.code.iter().enumerate() {
+            let tok = file.tokens[ti];
+            if tok.kind != TokenKind::Ident || file.tok(ti) != "target_feature" {
+                continue;
+            }
+            // Attribute form only: `#[target_feature(...)]`. The token
+            // before `cfg(target_feature = "...")` is `(`, not `[`.
+            if k == 0 || file.code_tok(k - 1) != "[" {
+                continue;
+            }
+            if file.is_test_line(tok.line) {
+                continue;
+            }
+
+            if !file.rel.starts_with(SIMD_KERNEL_DIR) {
+                out.push(Diagnostic {
+                    rule: self.id(),
+                    file: file.rel.clone(),
+                    line: tok.line,
+                    col: tok.col,
+                    message: "`#[target_feature]` outside the SIMD kernels module".to_owned(),
+                    hint: format!(
+                        "feature-gated code belongs under {SIMD_KERNEL_DIR} so every \
+                         CPU-dispatch assumption sits behind one reviewed boundary"
+                    ),
+                });
+                continue;
+            }
+
+            // Inside the kernels module: unsafe kernels must tell their
+            // callers which feature to detect.
+            let Some(feature) = attribute_feature(file, k) else {
+                continue;
+            };
+            if !is_unsafe_fn(file, k) {
+                continue;
+            }
+            if has_feature_note(file, tok.line, &feature) {
+                continue;
+            }
+            out.push(Diagnostic {
+                rule: self.id(),
+                file: file.rel.clone(),
+                line: tok.line,
+                col: tok.col,
+                message: format!(
+                    "unsafe `#[target_feature(enable = \"{feature}\")]` fn without SAFETY \
+                     text naming `{feature}`"
+                ),
+                hint: format!(
+                    "add a `# Safety` section (or `// SAFETY:` comment) stating that \
+                     callers must have detected `{feature}` at runtime"
+                ),
+            });
+        }
+    }
+}
+
+/// The first string literal inside the attribute brackets — the feature
+/// name in `#[target_feature(enable = "avx2")]`.
+fn attribute_feature(file: &SourceFile, k: usize) -> Option<String> {
+    let close = file.matching_close(k - 1);
+    for j in k..close.min(file.code.len()) {
+        let ti = file.code[j];
+        if file.tokens[ti].kind == TokenKind::Str {
+            return Some(file.tok(ti).trim_matches('"').to_owned());
+        }
+    }
+    None
+}
+
+/// Whether the item under the attribute at code index `k` is an
+/// `unsafe fn` (skipping any further stacked attributes).
+fn is_unsafe_fn(file: &SourceFile, k: usize) -> bool {
+    let mut j = file.matching_close(k - 1) + 1;
+    // Skip stacked `#[...]` attribute groups.
+    while j + 1 < file.code.len() && file.code_tok(j) == "#" {
+        j = file.matching_close(j + 1) + 1;
+    }
+    // Scan the item header (visibility, `unsafe`, `extern`, …) up to
+    // `fn`; a bounded walk is plenty for any real header.
+    let mut saw_unsafe = false;
+    for _ in 0..8 {
+        match file.code.get(j).map(|&ti| file.tok(ti)) {
+            Some("unsafe") => saw_unsafe = true,
+            Some("fn") => return saw_unsafe,
+            Some(_) => {}
+            None => return false,
+        }
+        j += 1;
+    }
+    false
+}
+
+/// True when a comment near `line` both signals safety (`SAFETY` or
+/// `# Safety`) and names the required feature.
+fn has_feature_note(file: &SourceFile, line: u32, feature: &str) -> bool {
+    let lo = line.saturating_sub(WINDOW_ABOVE);
+    let hi = line + WINDOW_BELOW;
+    let mut saw_safety = false;
+    let mut saw_feature = false;
+    for t in &file.tokens {
+        if !matches!(t.kind, TokenKind::LineComment | TokenKind::BlockComment) {
+            continue;
+        }
+        if t.line < lo || t.line > hi {
+            continue;
+        }
+        let text = t.text(&file.text);
+        saw_safety |= text.contains("SAFETY") || text.contains("# Safety");
+        saw_feature |= text.contains(feature);
+    }
+    saw_safety && saw_feature
+}

@@ -1,0 +1,13 @@
+// Failing fixture (in scope): an unsafe target_feature kernel whose
+// comments never name the feature callers must detect. Mounted outside
+// the kernels directory, the attribute itself is the violation.
+/// Sums four words with vector ops.
+///
+/// # Safety
+///
+/// `ptr` must point at four readable words.
+#[target_feature(enable = "avx2")]
+pub unsafe fn sum4(ptr: *const u64) -> u64 {
+    // SAFETY: caller promises four readable words.
+    unsafe { *ptr + *ptr.add(1) + *ptr.add(2) + *ptr.add(3) }
+}

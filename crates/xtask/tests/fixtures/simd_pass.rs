@@ -1,0 +1,28 @@
+// Passing fixture: the `# Safety` section names the feature the caller
+// must have detected, and the cfg form of target_feature (a compile-time
+// check, not a kernel) is never flagged.
+/// Sums four words with vector ops.
+///
+/// # Safety
+///
+/// Requires AVX2: callers must have observed
+/// `is_x86_feature_detected!("avx2")` return true on this host, and
+/// `ptr` must point at four readable words.
+#[target_feature(enable = "avx2")]
+pub unsafe fn sum4(ptr: *const u64) -> u64 {
+    // SAFETY: caller promises four readable words.
+    unsafe { *ptr + *ptr.add(1) + *ptr.add(2) + *ptr.add(3) }
+}
+
+/// A safe helper callable only from AVX2 contexts; safe fns need no
+/// feature-naming safety text.
+#[target_feature(enable = "avx2")]
+#[inline]
+fn square(x: u64) -> u64 {
+    x * x
+}
+
+/// Compile-time gating is out of scope for the rule.
+pub fn compiled_with_avx2() -> bool {
+    cfg!(target_feature = "avx2")
+}
