@@ -8,9 +8,9 @@
 
 use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion};
 use vcf_baselines::{CuckooFilter, DaryCuckooFilter};
-use vcf_bench::BENCH_SLOTS_LOG2;
-use vcf_core::{CuckooConfig, Dvcf, EvictionPolicy, VerticalCuckooFilter};
-use vcf_traits::Filter;
+use vcf_bench::{bench_keys, BENCH_SLOTS_LOG2};
+use vcf_core::{CuckooConfig, Dvcf, EvictionPolicy, ScalableVcf, VerticalCuckooFilter};
+use vcf_traits::{Filter, ScalableFilter};
 use vcf_workloads::{ChurnConfig, ChurnTrace, Op};
 
 fn config() -> CuckooConfig {
@@ -144,9 +144,87 @@ fn churn_benches(c: &mut Criterion) {
     assert!(positives > 0);
 }
 
+/// The elastic filter's growth economics, in three measurements:
+///
+/// * `grow_2^12_to_2^22` — amortized insert cost over a full sustained
+///   growth sweep (every doubling and all migration included; each insert
+///   performs at most one bucket-range of drain work).
+/// * `insert_quiescent` / `insert_migrating` — the same insert batch
+///   against a pre-grown filter with a fully-drained chain vs one with a
+///   drain in flight, isolating the per-op migration amortization that
+///   the sweep averages away.
+fn autoscale_benches(c: &mut Criterion) {
+    let base = CuckooConfig::new(1 << 10).with_seed(42); // 2^12 slots
+
+    // Dry run with the *same* key sequence the bench replays, to fix the
+    // op count: inserts needed to grow to 2^22 slots.
+    let keys = bench_keys(3 << 20, 0xa5);
+    let mut probe = ScalableVcf::new(base).unwrap();
+    let mut sweep_len = 0usize;
+    while probe.capacity() < 1 << 22 {
+        probe
+            .insert(&keys[sweep_len])
+            .expect("growth sweep insert failed");
+        sweep_len += 1;
+    }
+    let sweep = &keys[..sweep_len];
+
+    let mut g = c.benchmark_group("churn/autoscale");
+    g.throughput(criterion::Throughput::Elements(sweep_len as u64));
+    g.bench_function(BenchmarkId::from_parameter("grow_2^12_to_2^22"), |b| {
+        b.iter_batched(
+            || ScalableVcf::new(base).unwrap(),
+            |mut filter| {
+                for key in sweep {
+                    let _ = filter.insert(key);
+                }
+                assert!(filter.capacity() >= 1 << 22, "sweep failed to grow");
+                filter
+            },
+            BatchSize::LargeInput,
+        );
+    });
+
+    // Pre-grow to 2^18 slots and flatten the chain completely.
+    let mut warm = ScalableVcf::new(base).unwrap();
+    let mut fill = 0usize;
+    while warm.capacity() < 1 << 18 {
+        let _ = warm.insert(&keys[fill]);
+        fill += 1;
+    }
+    while warm.migration_backlog() > 0 {
+        if warm.migrate_step(64) == 0 && warm.migration_backlog() > 0 {
+            warm.grow().expect("grow to unblock a stalled drain");
+        }
+    }
+    // One more doubling puts the whole old active segment on the drain
+    // cursor: the "migrating" variant pays one bucket-range per insert.
+    let mut draining = warm.clone();
+    draining.grow().expect("grow to arm the drain");
+    assert!(draining.migration_backlog() > 0);
+
+    let batch = &keys[fill..fill + 4096];
+    g.throughput(criterion::Throughput::Elements(batch.len() as u64));
+    for (label, filter) in [("insert_quiescent", &warm), ("insert_migrating", &draining)] {
+        g.bench_function(BenchmarkId::from_parameter(label), |b| {
+            b.iter_batched(
+                || filter.clone(),
+                |mut filter| {
+                    for key in batch {
+                        let _ = filter.insert(key);
+                    }
+                    filter
+                },
+                BatchSize::LargeInput,
+            );
+        });
+    }
+    g.finish();
+}
+
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(10);
-    targets = churn_benches
+    targets = churn_benches, autoscale_benches
 }
 criterion_main!(benches);

@@ -174,6 +174,43 @@ pub fn build_from_iter<H: BulkHost>(
         n = idx + 1;
     }
     host.bulk_record_keys(n as u64);
+    sweep_and_cleanup(host, &partitions, n)
+}
+
+/// Pre-hashed variant of [`build_from_iter`]: places already-derived
+/// keys through the same counting-sort + run-fill sweep, skipping the
+/// hash pass entirely. Used by re-packing paths (shrink-to-fit, bulk
+/// migration) that hold stored fingerprints rather than original items —
+/// no hash counters are charged here, so maintenance work stays out of
+/// the per-operation accounting.
+pub fn build_from_keys<H: BulkHost>(host: &mut H, keys: &[H::Key]) -> Vec<Result<(), InsertError>> {
+    let buckets = host.bulk_buckets();
+    debug_assert!(buckets <= u32::MAX as usize, "bucket ids must fit u32");
+    debug_assert!(keys.len() <= u32::MAX as usize, "bulk build capped at 2^32");
+    let parts = buckets.div_ceil(1 << PART_BUCKETS_LOG2).max(1);
+    let mut partitions: Vec<Vec<Entry<H::Key>>> = (0..parts)
+        .map(|_| Vec::with_capacity(keys.len() / parts + 16))
+        .collect();
+    for (idx, &key) in keys.iter().enumerate() {
+        let primary = host.bulk_candidate(&key, 0);
+        debug_assert!(primary < buckets);
+        partitions[primary >> PART_BUCKETS_LOG2].push(Entry {
+            idx: idx as u32,
+            key,
+        });
+    }
+    sweep_and_cleanup(host, &partitions, keys.len())
+}
+
+/// Stages 2–3 shared by [`build_from_iter`] and [`build_from_keys`]:
+/// counting-sort each partition, sweep it with run-fill placement, then
+/// re-insert the deferred overflow tail through the eviction path.
+fn sweep_and_cleanup<H: BulkHost>(
+    host: &mut H,
+    partitions: &[Vec<Entry<H::Key>>],
+    n: usize,
+) -> Vec<Result<(), InsertError>> {
+    let buckets = host.bulk_buckets();
     let mut results: Vec<Result<(), InsertError>> = vec![Ok(()); n];
     if n == 0 {
         return results;

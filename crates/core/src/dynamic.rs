@@ -8,6 +8,12 @@
 //! the same construction to VCFs, inheriting vertical hashing's high
 //! per-link load factor (fewer, fuller links than a CF chain — the two
 //! effects compound).
+//!
+//! `DynamicVcf` is kept as the paper-faithful DCF-style baseline: its
+//! links never shrink and its lookup fan-out grows with the chain. For
+//! production-style elasticity prefer [`ScalableVcf`](crate::ScalableVcf),
+//! which drains old segments incrementally so the chain stays O(1) and
+//! supports shrink-to-fit.
 
 use crate::config::CuckooConfig;
 use crate::vcf::VerticalCuckooFilter;
@@ -132,10 +138,27 @@ impl Filter for DynamicVcf {
         self.links.iter().any(|link| link.contains(item))
     }
 
-    /// Deletes from the first link holding a matching fingerprint.
+    /// Deletes one copy, scanning links **newest first** and stopping at
+    /// the first hit.
+    ///
+    /// Newest-first mirrors the insert preference, so when duplicate
+    /// fingerprints exist across links the most recently stored copy is
+    /// removed first — each link keeps its own Theorem-1 closure, so a
+    /// per-link delete is exact and one logical delete removes exactly
+    /// one stored fingerprint (multiset semantics across the chain).
+    /// The access count reflects only the links actually consulted.
     fn delete(&mut self, item: &[u8]) -> bool {
-        self.counters.record_delete(0, self.links.len() as u64);
-        self.links.iter_mut().any(|link| link.delete(item))
+        let mut checked = 0u64;
+        let mut removed = false;
+        for link in self.links.iter_mut().rev() {
+            checked += 1;
+            if link.delete(item) {
+                removed = true;
+                break;
+            }
+        }
+        self.counters.record_delete(0, checked);
+        removed
     }
 
     fn len(&self) -> usize {
@@ -298,6 +321,58 @@ mod tests {
         let s = f.stats();
         assert_eq!(s.inserts.calls, 300);
         assert_eq!(s.lookups.calls, 1);
+    }
+
+    #[test]
+    fn delete_prefers_newest_link_copy() {
+        let mut f = DynamicVcf::new(small_template()).unwrap();
+        f.insert(b"dup").unwrap(); // lands in link 0
+                                   // Saturate link 0 so the chain grows.
+        for i in 0..400u64 {
+            f.insert(&key(i)).unwrap();
+        }
+        assert!(f.links() > 1);
+        f.insert(b"dup").unwrap(); // newest link has room: second copy
+        let newest = f.links.len() - 1;
+        assert!(f.links[0].contains(b"dup"));
+        assert!(f.links[newest].contains(b"dup"));
+
+        // Delete must remove the newest copy, mirroring insert order —
+        // the regression this pins: an oldest-first scan would remove the
+        // link-0 copy and leave a stale duplicate in the newest link.
+        assert!(f.delete(b"dup"));
+        assert!(
+            f.links[0].contains(b"dup"),
+            "oldest copy must survive the first delete"
+        );
+        assert!(
+            !f.links[newest].contains(b"dup"),
+            "newest copy must be the one removed"
+        );
+        assert!(f.delete(b"dup"));
+        assert!(!f.contains(b"dup"));
+    }
+
+    #[test]
+    fn delete_counts_only_consulted_links() {
+        let mut f = DynamicVcf::new(small_template()).unwrap();
+        for i in 0..700u64 {
+            f.insert(&key(i)).unwrap();
+        }
+        assert!(f.links() >= 3);
+        f.insert(b"fresh").unwrap(); // newest link has room
+        f.counters.reset();
+        assert!(f.delete(b"fresh"));
+        let chain = f.counters.snapshot();
+        assert_eq!(chain.deletes.calls, 1);
+        assert_eq!(
+            chain.deletes.bucket_accesses, 1,
+            "a newest-link hit must not charge the whole chain"
+        );
+        // A miss still scans every link.
+        assert!(!f.delete(b"never-inserted"));
+        let chain = f.counters.snapshot();
+        assert_eq!(chain.deletes.bucket_accesses, 1 + f.links() as u64);
     }
 
     #[test]

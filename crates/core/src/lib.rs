@@ -60,6 +60,7 @@ mod dynamic;
 /// Breadth-first eviction-path search shared by the cuckoo variants.
 pub mod evict;
 mod kvcf;
+mod scalable;
 mod sharded;
 mod snapshot;
 mod vcf;
@@ -71,7 +72,8 @@ pub use config::{CuckooConfig, EvictionPolicy};
 pub use dvcf::Dvcf;
 pub use dynamic::DynamicVcf;
 pub use kvcf::KVcf;
-pub use sharded::{ShardRouter, ShardedConcurrentVcf, ShardedVcf};
+pub use scalable::{MigrationStats, ScalableVcf};
+pub use sharded::{ShardRouter, ShardedConcurrentVcf, ShardedScalableVcf, ShardedVcf};
 pub use snapshot::SnapshotError;
 pub use vcf::VerticalCuckooFilter;
 pub use vertical::{Candidates, VerticalParams};

@@ -20,10 +20,11 @@
 
 use crate::concurrent::ConcurrentVcf;
 use crate::config::CuckooConfig;
+use crate::scalable::ScalableVcf;
 use crate::vcf::VerticalCuckooFilter;
 use std::sync::RwLock;
 use vcf_hash::mix64;
-use vcf_traits::{BuildError, ConcurrentFilter, Filter, InsertError, Stats};
+use vcf_traits::{BuildError, ConcurrentFilter, Filter, InsertError, ScalableFilter, Stats};
 
 /// Salt decorrelating shard routing from in-shard bucket hashing.
 const SHARD_SALT: u64 = 0x5348_4152_4421; // "SHARD!"
@@ -78,6 +79,14 @@ pub type ShardedVcf = ShardRouter<RwLock<VerticalCuckooFilter>>;
 /// parallel on distinct buckets. Prefer this over [`ShardedVcf`] for
 /// write-heavy workloads; see the README concurrency table.
 pub type ShardedConcurrentVcf = ShardRouter<ConcurrentVcf>;
+
+/// Elastic shards behind the router: each shard is a [`ScalableVcf`]
+/// behind an `RwLock`, so capacity management is **per shard** — one
+/// shard growing (or being shrunk/migrated) only holds its own lock and
+/// never stalls traffic to the other `2^s − 1` shards. Routing is by key
+/// hash, so per-shard occupancy stays balanced and shards grow roughly
+/// in step without any coordination.
+pub type ShardedScalableVcf = ShardRouter<RwLock<ScalableVcf>>;
 
 impl<F> ShardRouter<F> {
     /// Validates router geometry and splits `config` into per-shard
@@ -167,6 +176,82 @@ impl ShardedConcurrentVcf {
             shard_mask,
             label,
         })
+    }
+}
+
+impl ShardedScalableVcf {
+    /// Builds a sharded elastic filter: `config.buckets` is the **base**
+    /// total bucket count, split evenly; each shard then grows and
+    /// shrinks on its own.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`BuildError`] when the per-shard geometry would be
+    /// degenerate (each shard needs at least 4 base buckets).
+    pub fn new(config: CuckooConfig, shard_bits: u32) -> Result<Self, BuildError> {
+        let shards = Self::shard_configs(config, shard_bits)?
+            .map(|c| ScalableVcf::new(c).map(RwLock::new))
+            .collect::<Result<Vec<_>, _>>()?;
+        let shard_mask = shards.len() as u64 - 1;
+        let label = format!("ShardedScalableVCF[{}]", shards.len());
+        Ok(Self {
+            shards,
+            shard_mask,
+            label,
+        })
+    }
+
+    /// Drains up to `buckets` cold bucket-ranges **per shard**, taking
+    /// each shard's write lock only for its own bounded step. Returns the
+    /// total number of bucket-ranges drained.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a shard lock is poisoned.
+    pub fn migrate_step(&self, buckets: usize) -> usize {
+        self.shards
+            .iter()
+            .map(|shard| shard.write().unwrap().migrate_step(buckets))
+            .sum()
+    }
+
+    /// Total migration backlog across shards (0 ⇔ every shard is a
+    /// single segment).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a shard lock is poisoned.
+    pub fn migration_backlog(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|shard| shard.read().unwrap().migration_backlog())
+            .sum()
+    }
+
+    /// Shrinks each shard to fit, one shard (and one lock) at a time, so
+    /// the repack latency spike is confined to a `1/2^s` keyspace slice.
+    /// Returns how many shards actually shrank.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a shard lock is poisoned.
+    pub fn shrink_to_fit(&self) -> usize {
+        self.shards
+            .iter()
+            .filter(|shard| shard.write().unwrap().shrink_to_fit())
+            .count()
+    }
+
+    /// Segment-chain length per shard, in routing order (diagnostic).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a shard lock is poisoned.
+    pub fn shard_segments(&self) -> Vec<usize> {
+        self.shards
+            .iter()
+            .map(|shard| shard.read().unwrap().segments())
+            .collect()
     }
 }
 
@@ -530,5 +615,95 @@ mod tests {
         fn assert_send_sync<T: Send + Sync>() {}
         assert_send_sync::<ShardedVcf>();
         assert_send_sync::<ShardedConcurrentVcf>();
+        assert_send_sync::<ShardedScalableVcf>();
+    }
+
+    #[test]
+    fn scalable_shards_grow_independently() {
+        // 4 shards of 64 base buckets each.
+        let f = ShardedScalableVcf::new(CuckooConfig::new(1 << 8).with_seed(11), 2).unwrap();
+        let target = f.shard_of(b"hot-0");
+        // Hammer keys routed to one shard only.
+        let mut stored = Vec::new();
+        let mut i = 0u64;
+        while stored.len() < 2_000 {
+            let k = format!("hot-{i}").into_bytes();
+            if f.shard_of(&k) == target {
+                f.insert(&k).unwrap();
+                stored.push(k);
+            }
+            i += 1;
+        }
+        let segments = f.shard_segments();
+        assert!(
+            segments[target] >= 1 && f.shards()[target].read().unwrap().capacity() > 256,
+            "hot shard must have grown: {segments:?}"
+        );
+        for (shard, &segs) in segments.iter().enumerate() {
+            if shard != target {
+                assert_eq!(segs, 1, "cold shard {shard} must not grow: {segments:?}");
+                assert_eq!(f.shards()[shard].read().unwrap().capacity(), 256);
+            }
+        }
+        for k in &stored {
+            assert!(f.contains(k), "hot-shard key lost");
+        }
+    }
+
+    #[test]
+    fn scalable_router_maintenance_flattens_and_shrinks() {
+        let f = ShardedScalableVcf::new(CuckooConfig::new(1 << 8).with_seed(12), 2).unwrap();
+        for i in 0..8_000u64 {
+            f.insert(&key(i)).unwrap();
+        }
+        // Drive migration to completion through the router.
+        let mut guard = 0;
+        while f.migration_backlog() > 0 {
+            if f.migrate_step(16) == 0 {
+                for shard in f.shards() {
+                    shard.write().unwrap().grow().unwrap();
+                }
+            }
+            guard += 1;
+            assert!(guard < 100_000, "router migration never converged");
+        }
+        assert!(f.shard_segments().iter().all(|&s| s == 1));
+        assert_eq!(f.len(), 8_000);
+        // Mass delete, then per-shard shrink-to-fit.
+        for i in 200..8_000u64 {
+            assert!(f.delete(&key(i)));
+        }
+        let before = f.capacity();
+        let shrunk = f.shrink_to_fit();
+        assert!(shrunk > 0, "at least one shard must shrink");
+        assert!(f.capacity() < before);
+        for i in 0..200u64 {
+            assert!(f.contains(&key(i)), "item {i} lost by sharded shrink");
+        }
+    }
+
+    #[test]
+    fn scalable_shards_serve_concurrent_traffic_while_growing() {
+        let filter =
+            Arc::new(ShardedScalableVcf::new(CuckooConfig::new(1 << 8).with_seed(13), 2).unwrap());
+        let writers: Vec<_> = (0..4u64)
+            .map(|t| {
+                let filter = Arc::clone(&filter);
+                std::thread::spawn(move || {
+                    for i in 0..2_000u64 {
+                        filter.insert(&key(t * 1_000_000 + i)).unwrap();
+                    }
+                })
+            })
+            .collect();
+        for w in writers {
+            w.join().unwrap();
+        }
+        assert_eq!(filter.len(), 8_000);
+        for t in 0..4u64 {
+            for i in 0..2_000u64 {
+                assert!(filter.contains(&key(t * 1_000_000 + i)), "lost {t}/{i}");
+            }
+        }
     }
 }

@@ -35,11 +35,13 @@ use core::fmt;
 mod concurrent;
 mod counters;
 mod ext;
+mod scalable;
 mod stats;
 
 pub use concurrent::ConcurrentFilter;
 pub use counters::Counters;
 pub use ext::FilterExt;
+pub use scalable::ScalableFilter;
 pub use stats::{OpCounters, Stats};
 
 /// Error returned when an item cannot be inserted.

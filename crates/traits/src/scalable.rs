@@ -1,0 +1,61 @@
+//! Online capacity management for filters that resize without
+//! stop-the-world rebuilds.
+
+use crate::{BuildError, Filter};
+
+/// A [`Filter`] whose capacity changes online.
+///
+/// Scalable filters keep their data in an ordered chain of *segments*
+/// (oldest first); inserts land in the newest ("active") segment and
+/// lookups fan across the chain. Growth appends a larger segment;
+/// an *incremental migration* drains older segments into the active one
+/// a bounded amount of work at a time, so no single operation blocks on
+/// a full rebuild. The trait exposes that machinery for tests, benches
+/// and maintenance loops.
+///
+/// # Contract
+///
+/// * `grow`, `migrate_step` and `shrink_to_fit` never change any lookup
+///   answer: no false negatives are introduced and occupancy
+///   ([`Filter::len`]) is preserved exactly.
+/// * `migrate_step(n)` performs at most `n` bucket-ranges of migration
+///   work — the bounded-latency guarantee callers amortize against.
+/// * After `migration_backlog()` reaches zero the filter holds a single
+///   segment.
+pub trait ScalableFilter: Filter {
+    /// Appends a new active segment (typically double the current one),
+    /// scheduling the older segments for incremental migration.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`BuildError`] when the implementation's growth limit
+    /// is reached or the new segment cannot be allocated.
+    fn grow(&mut self) -> Result<(), BuildError>;
+
+    /// Re-packs the chain into the smallest geometry that holds the
+    /// current occupancy, returning `true` when the footprint shrank.
+    ///
+    /// This is an explicit maintenance operation — unlike growth it is
+    /// *not* amortized across other operations, so callers invoke it
+    /// when a latency spike is acceptable (e.g. per shard, off-peak).
+    fn shrink_to_fit(&mut self) -> bool;
+
+    /// Drains up to `buckets` bucket-ranges from the oldest segments
+    /// into the active one, returning how many were fully drained.
+    /// Stops early when the chain is already flat or the active segment
+    /// cannot currently accept the displaced fingerprints (the next
+    /// [`grow`](ScalableFilter::grow) unblocks it).
+    fn migrate_step(&mut self, buckets: usize) -> usize;
+
+    /// Bucket-ranges still awaiting migration (0 ⇔ a single segment).
+    fn migration_backlog(&self) -> usize;
+
+    /// Number of segments currently in the chain.
+    fn segments(&self) -> usize;
+
+    /// Stored entries per segment, oldest first.
+    fn segment_lens(&self) -> Vec<usize>;
+
+    /// Slot capacity per segment, oldest first.
+    fn segment_capacities(&self) -> Vec<usize>;
+}

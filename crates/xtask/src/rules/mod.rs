@@ -41,6 +41,7 @@ pub const HOT_PATH_MODULES: &[&str] = &[
     "crates/table/src/fingerprint.rs",
     "crates/core/src/vcf.rs",
     "crates/core/src/evict.rs",
+    "crates/core/src/scalable.rs",
 ];
 
 /// The only directory allowed to contain `#[target_feature]`-gated SIMD

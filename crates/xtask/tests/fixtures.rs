@@ -110,6 +110,12 @@ fn no_panic_hot_path_fixtures() {
         include_str!("fixtures/hotpath_fail.rs"),
         "no-panic-hot-path",
     );
+    // The elastic filter's insert/migrate path is hot-path covered too.
+    assert_fails(
+        "crates/core/src/scalable.rs",
+        include_str!("fixtures/hotpath_fail.rs"),
+        "no-panic-hot-path",
+    );
 }
 
 #[test]

@@ -42,11 +42,13 @@ pub use vcf_workloads as workloads;
 pub mod prelude {
     pub use vcf_baselines::CuckooFilter;
     pub use vcf_core::{
-        ConcurrentVcf, CuckooConfig, Dvcf, DynamicVcf, KVcf, ShardedConcurrentVcf, ShardedVcf,
-        VerticalCuckooFilter,
+        ConcurrentVcf, CuckooConfig, Dvcf, DynamicVcf, KVcf, ScalableVcf, ShardedConcurrentVcf,
+        ShardedScalableVcf, ShardedVcf, VerticalCuckooFilter,
     };
     pub use vcf_hash::HashKind;
-    pub use vcf_traits::{BuildError, ConcurrentFilter, Filter, FilterExt, InsertError, Stats};
+    pub use vcf_traits::{
+        BuildError, ConcurrentFilter, Filter, FilterExt, InsertError, ScalableFilter, Stats,
+    };
 }
 
 #[cfg(test)]
