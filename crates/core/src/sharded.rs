@@ -127,11 +127,24 @@ impl<F> ShardRouter<F> {
         &self.shards
     }
 
-    /// Routes a key to its shard index.
+    /// Routes a key to its shard index. Public so shard-affine callers
+    /// (the `vcf-server` executor, loadgen clients) can pre-partition a
+    /// batch onto the threads owning each shard; routing depends only on
+    /// the key bytes and the shard count, never on the shard type.
     #[inline]
-    fn shard_of(&self, item: &[u8]) -> usize {
+    pub fn shard_of(&self, item: &[u8]) -> usize {
         let h = vcf_hash::fnv1a_64(item);
         (mix64(h ^ SHARD_SALT) & self.shard_mask) as usize
+    }
+
+    /// Routes every item, returning each shard's group of input
+    /// positions (empty groups for untouched shards).
+    fn group_by_shard(&self, items: &[&[u8]]) -> Vec<Vec<usize>> {
+        let mut groups: Vec<Vec<usize>> = vec![Vec::new(); self.shards.len()];
+        for (pos, item) in items.iter().enumerate() {
+            groups[self.shard_of(item)].push(pos);
+        }
+        groups
     }
 }
 
@@ -269,6 +282,30 @@ impl<F: ConcurrentFilter> ShardRouter<F> {
         self.shards[self.shard_of(item)].insert(item)
     }
 
+    /// Batched insert: routes the whole batch first, then visits each
+    /// touched shard **once**, running its own batched insert (one lock
+    /// acquisition / one prefetch pipeline pass per shard). Per-item
+    /// results come back in input order; a full shard fails only its own
+    /// items, exactly like the serial loop.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a locked shard's lock is poisoned.
+    pub fn insert_batch(&self, items: &[&[u8]]) -> Vec<Result<(), InsertError>> {
+        let mut out = vec![Ok(()); items.len()];
+        for (shard, group) in self.group_by_shard(items).iter().enumerate() {
+            if group.is_empty() {
+                continue;
+            }
+            let shard_items: Vec<&[u8]> = group.iter().map(|&pos| items[pos]).collect();
+            let results = self.shards[shard].insert_batch(&shard_items);
+            for (&pos, result) in group.iter().zip(results) {
+                out[pos] = result;
+            }
+        }
+        out
+    }
+
     /// Membership test.
     ///
     /// # Panics
@@ -288,15 +325,9 @@ impl<F: ConcurrentFilter> ShardRouter<F> {
     ///
     /// Panics if a locked shard's lock is poisoned.
     pub fn contains_batch(&self, items: &[&[u8]]) -> Vec<bool> {
-        // Pass 1: route every item; collect each shard's (input position,
-        // item) group.
-        let mut groups: Vec<Vec<usize>> = vec![Vec::new(); self.shards.len()];
-        for (pos, item) in items.iter().enumerate() {
-            groups[self.shard_of(item)].push(pos);
-        }
-        // Pass 2: one batched probe per non-empty shard.
+        // Route every item, then one batched probe per non-empty shard.
         let mut out = vec![false; items.len()];
-        for (shard, group) in groups.iter().enumerate() {
+        for (shard, group) in self.group_by_shard(items).iter().enumerate() {
             if group.is_empty() {
                 continue;
             }
@@ -316,6 +347,29 @@ impl<F: ConcurrentFilter> ShardRouter<F> {
     /// Panics if a locked shard's lock is poisoned.
     pub fn delete(&self, item: &[u8]) -> bool {
         self.shards[self.shard_of(item)].delete(item)
+    }
+
+    /// Batched delete: one grouped visit per touched shard, answers in
+    /// input order. Duplicate keys in the batch behave like the serial
+    /// loop (each delete removes at most one copy), because the group
+    /// preserves input order within its shard.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a locked shard's lock is poisoned.
+    pub fn delete_batch(&self, items: &[&[u8]]) -> Vec<bool> {
+        let mut out = vec![false; items.len()];
+        for (shard, group) in self.group_by_shard(items).iter().enumerate() {
+            if group.is_empty() {
+                continue;
+            }
+            let shard_items: Vec<&[u8]> = group.iter().map(|&pos| items[pos]).collect();
+            let answers = self.shards[shard].delete_batch(&shard_items);
+            for (&pos, answer) in group.iter().zip(answers) {
+                out[pos] = answer;
+            }
+        }
+        out
     }
 
     /// Total stored entries across shards (a racy-but-consistent-enough
@@ -373,6 +427,10 @@ impl<F: ConcurrentFilter> ConcurrentFilter for ShardRouter<F> {
         ShardRouter::insert(self, item)
     }
 
+    fn insert_batch(&self, items: &[&[u8]]) -> Vec<Result<(), InsertError>> {
+        ShardRouter::insert_batch(self, items)
+    }
+
     fn contains(&self, item: &[u8]) -> bool {
         ShardRouter::contains(self, item)
     }
@@ -383,6 +441,10 @@ impl<F: ConcurrentFilter> ConcurrentFilter for ShardRouter<F> {
 
     fn delete(&self, item: &[u8]) -> bool {
         ShardRouter::delete(self, item)
+    }
+
+    fn delete_batch(&self, items: &[&[u8]]) -> Vec<bool> {
+        ShardRouter::delete_batch(self, items)
     }
 
     fn len(&self) -> usize {
@@ -413,6 +475,10 @@ impl<F: ConcurrentFilter> ConcurrentFilter for ShardRouter<F> {
 impl<F: ConcurrentFilter> Filter for ShardRouter<F> {
     fn insert(&mut self, item: &[u8]) -> Result<(), InsertError> {
         ShardRouter::insert(self, item)
+    }
+
+    fn insert_batch(&mut self, items: &[&[u8]]) -> Vec<Result<(), InsertError>> {
+        ShardRouter::insert_batch(self, items)
     }
 
     fn contains(&self, item: &[u8]) -> bool {
@@ -586,6 +652,43 @@ mod tests {
             t.join().unwrap();
         }
         assert!(filter.is_empty(), "churn must drain completely");
+    }
+
+    #[test]
+    fn batched_mutations_match_serial_ops() {
+        // The grouped batch paths must agree bit-for-bit with a serial
+        // loop over the same ops on an identically-configured router.
+        let batched = ShardedVcf::new(CuckooConfig::new(1 << 8).with_seed(7), 2).unwrap();
+        let serial = ShardedVcf::new(CuckooConfig::new(1 << 8).with_seed(7), 2).unwrap();
+        let keys: Vec<Vec<u8>> = (0..600).map(key).collect();
+        let refs: Vec<&[u8]> = keys.iter().map(Vec::as_slice).collect();
+
+        let batch_results = batched.insert_batch(&refs);
+        let serial_results: Vec<_> = refs.iter().map(|k| serial.insert(k)).collect();
+        assert_eq!(batch_results, serial_results);
+        assert_eq!(batched.len(), serial.len());
+        assert_eq!(batched.contains_batch(&refs), vec![true; refs.len()]);
+
+        let half: Vec<&[u8]> = refs[..300].to_vec();
+        let batch_deleted = batched.delete_batch(&half);
+        let serial_deleted: Vec<_> = half.iter().map(|k| serial.delete(k)).collect();
+        assert_eq!(batch_deleted, serial_deleted);
+        assert_eq!(batched.len(), serial.len());
+    }
+
+    #[test]
+    fn batched_duplicate_deletes_remove_one_copy_each() {
+        let f = ShardedVcf::new(CuckooConfig::new(1 << 8).with_seed(8), 2).unwrap();
+        let k = key(1);
+        f.insert(&k).unwrap();
+        f.insert(&k).unwrap();
+        // Two stored copies: the batch removes both, the third miss is
+        // reported in-order, as the serial loop would.
+        assert_eq!(
+            f.delete_batch(&[k.as_slice(), k.as_slice(), k.as_slice()]),
+            vec![true, true, false]
+        );
+        assert!(f.is_empty());
     }
 
     #[test]

@@ -1,0 +1,570 @@
+//! Stream codec: frame reading/writing over TCP or Unix-domain sockets.
+//!
+//! [`FrameReader`] turns a byte stream into request frames with one
+//! buffer that is reused across frames: the payload of the returned
+//! [`Frame::Request`] borrows the reader's receive buffer, so the 8-byte
+//! keys inside it are handed to the shard executor as zero-copy slices.
+//! Malformed headers surface as [`Frame::Malformed`] with the payload
+//! already drained whenever the framing is still trustworthy (see
+//! [`WireError::drainable_payload`]).
+//!
+//! [`Client`] is the blocking request/response counterpart used by
+//! `vcf-loadgen`, the smoke tests and the benches: one in-flight frame
+//! per connection, responses matched by order.
+//!
+//! This module is on the linted no-panic hot path.
+
+use crate::protocol::{
+    bitmap_len, OpCode, RequestHeader, ResponseHeader, WireError, HEADER_LEN, KEY_LEN, MAX_BATCH,
+    STATS_WORDS,
+};
+use std::io::{self, Read, Write};
+use std::net::TcpStream;
+use std::os::unix::net::UnixStream;
+use std::path::PathBuf;
+
+/// Where a server listens / a client connects.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Endpoint {
+    /// TCP, e.g. `tcp:127.0.0.1:7171`.
+    Tcp(String),
+    /// Unix-domain socket path, e.g. `uds:/tmp/vcf.sock`.
+    Uds(PathBuf),
+}
+
+impl Endpoint {
+    /// Parses `tcp:<addr>` or `uds:<path>`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable message for unknown schemes.
+    pub fn parse(text: &str) -> Result<Self, String> {
+        if let Some(addr) = text.strip_prefix("tcp:") {
+            Ok(Endpoint::Tcp(addr.to_owned()))
+        } else if let Some(path) = text.strip_prefix("uds:") {
+            Ok(Endpoint::Uds(PathBuf::from(path)))
+        } else {
+            Err(format!(
+                "endpoint {text:?} must start with `tcp:` or `uds:`"
+            ))
+        }
+    }
+}
+
+impl core::fmt::Display for Endpoint {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            Endpoint::Tcp(addr) => write!(f, "tcp:{addr}"),
+            Endpoint::Uds(path) => write!(f, "uds:{}", path.display()),
+        }
+    }
+}
+
+/// A connected stream of either transport.
+#[derive(Debug)]
+pub enum WireStream {
+    /// A TCP connection (Nagle disabled: frames are the batching layer).
+    Tcp(TcpStream),
+    /// A Unix-domain connection.
+    Uds(UnixStream),
+}
+
+impl WireStream {
+    /// Connects to `endpoint`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the underlying socket error.
+    pub fn connect(endpoint: &Endpoint) -> io::Result<Self> {
+        match endpoint {
+            Endpoint::Tcp(addr) => {
+                let stream = TcpStream::connect(addr.as_str())?;
+                stream.set_nodelay(true)?;
+                Ok(WireStream::Tcp(stream))
+            }
+            Endpoint::Uds(path) => Ok(WireStream::Uds(UnixStream::connect(path)?)),
+        }
+    }
+
+    /// A second handle onto the same connection (for split read/write).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the underlying socket error.
+    pub fn try_clone(&self) -> io::Result<Self> {
+        match self {
+            WireStream::Tcp(stream) => stream.try_clone().map(WireStream::Tcp),
+            WireStream::Uds(stream) => stream.try_clone().map(WireStream::Uds),
+        }
+    }
+
+    /// Shuts down both directions, unblocking any reader.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the underlying socket error.
+    pub fn shutdown(&self) -> io::Result<()> {
+        match self {
+            WireStream::Tcp(stream) => stream.shutdown(std::net::Shutdown::Both),
+            WireStream::Uds(stream) => stream.shutdown(std::net::Shutdown::Both),
+        }
+    }
+}
+
+impl Read for WireStream {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        match self {
+            WireStream::Tcp(stream) => stream.read(buf),
+            WireStream::Uds(stream) => stream.read(buf),
+        }
+    }
+}
+
+impl Write for WireStream {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        match self {
+            WireStream::Tcp(stream) => stream.write(buf),
+            WireStream::Uds(stream) => stream.write(buf),
+        }
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        match self {
+            WireStream::Tcp(stream) => stream.flush(),
+            WireStream::Uds(stream) => stream.flush(),
+        }
+    }
+}
+
+/// One read attempt's outcome.
+#[derive(Debug)]
+pub enum Frame<'a> {
+    /// A well-formed request; `payload` is `count × KEY_LEN` bytes
+    /// borrowed from the reader's buffer.
+    Request {
+        /// The validated opcode.
+        opcode: OpCode,
+        /// The raw key array (empty for control frames).
+        payload: &'a [u8],
+    },
+    /// A malformed header. Any drainable payload has already been
+    /// consumed; the caller must close the connection after responding
+    /// iff [`WireError::drainable_payload`] is `None`.
+    Malformed(WireError),
+    /// Clean end-of-stream at a frame boundary.
+    Closed,
+}
+
+/// Reads request frames from a byte stream, reusing one payload buffer.
+#[derive(Debug)]
+pub struct FrameReader<R> {
+    inner: R,
+    payload: Vec<u8>,
+}
+
+impl<R: Read> FrameReader<R> {
+    /// Wraps a stream.
+    pub fn new(inner: R) -> Self {
+        Self {
+            inner,
+            payload: Vec::new(),
+        }
+    }
+
+    /// Reads the next frame.
+    ///
+    /// # Errors
+    ///
+    /// Propagates transport errors; a stream that ends mid-frame is
+    /// reported as [`io::ErrorKind::UnexpectedEof`].
+    pub fn read_frame(&mut self) -> io::Result<Frame<'_>> {
+        let mut header = [0u8; HEADER_LEN];
+        if !read_exact_or_closed(&mut self.inner, &mut header)? {
+            return Ok(Frame::Closed);
+        }
+        match RequestHeader::decode(&header) {
+            Ok(req) => {
+                self.payload.resize(req.payload_len(), 0);
+                self.inner.read_exact(&mut self.payload)?;
+                Ok(Frame::Request {
+                    opcode: req.opcode,
+                    payload: &self.payload,
+                })
+            }
+            Err(err) => {
+                if let Some(drain) = err.drainable_payload() {
+                    self.payload.resize(drain, 0);
+                    self.inner.read_exact(&mut self.payload)?;
+                }
+                Ok(Frame::Malformed(err))
+            }
+        }
+    }
+}
+
+/// `read_exact` that distinguishes clean EOF before the first byte
+/// (`Ok(false)`) from a mid-buffer EOF (`UnexpectedEof` error).
+fn read_exact_or_closed<R: Read>(reader: &mut R, buf: &mut [u8]) -> io::Result<bool> {
+    let mut filled = 0;
+    while filled < buf.len() {
+        match reader.read(&mut buf[filled..]) {
+            Ok(0) => {
+                if filled == 0 {
+                    return Ok(false);
+                }
+                return Err(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "stream closed mid-frame",
+                ));
+            }
+            Ok(n) => filled += n,
+            Err(err) if err.kind() == io::ErrorKind::Interrupted => {}
+            Err(err) => return Err(err),
+        }
+    }
+    Ok(true)
+}
+
+/// Appends a complete request frame (header + keys) to `buf`.
+pub fn encode_request(buf: &mut Vec<u8>, opcode: OpCode, keys: &[u64]) {
+    let header = RequestHeader {
+        opcode,
+        count: keys.len() as u32,
+    };
+    buf.extend_from_slice(&header.encode());
+    for key in keys {
+        buf.extend_from_slice(&key.to_le_bytes());
+    }
+}
+
+/// Appends a complete response frame to `buf`.
+pub fn encode_response(buf: &mut Vec<u8>, status_code: u8, count: u32, payload: &[u8]) {
+    let header = ResponseHeader {
+        status: status_code,
+        count,
+    };
+    buf.extend_from_slice(&header.encode());
+    buf.extend_from_slice(payload);
+}
+
+/// One decoded server reply.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Reply {
+    /// Status byte (`0` = success).
+    pub status: u8,
+    /// Result-bit (or stats-word) count.
+    pub count: u32,
+    /// Raw payload: outcome bitmap or stats words.
+    pub payload: Vec<u8>,
+}
+
+impl Reply {
+    /// Reads outcome bit `i`.
+    #[must_use]
+    pub fn bit(&self, i: usize) -> bool {
+        crate::protocol::bitmap_get(&self.payload, i)
+    }
+
+    /// Decodes a stats payload into its `u64` words.
+    #[must_use]
+    pub fn stats_words(&self) -> Vec<u64> {
+        self.payload
+            .chunks_exact(8)
+            .map(|chunk| {
+                let mut word = [0u8; 8];
+                word.copy_from_slice(chunk);
+                u64::from_le_bytes(word)
+            })
+            .collect()
+    }
+}
+
+/// A blocking request/response client: one in-flight frame, responses
+/// matched by order. Used by `vcf-loadgen`, the smoke tests and benches.
+#[derive(Debug)]
+pub struct Client {
+    stream: WireStream,
+    wbuf: Vec<u8>,
+}
+
+impl Client {
+    /// Connects to a server endpoint.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the socket error.
+    pub fn connect(endpoint: &Endpoint) -> io::Result<Self> {
+        Ok(Self {
+            stream: WireStream::connect(endpoint)?,
+            wbuf: Vec::with_capacity(HEADER_LEN + 256 * KEY_LEN),
+        })
+    }
+
+    /// Sends one frame and reads its reply.
+    ///
+    /// # Errors
+    ///
+    /// Propagates transport errors; a malformed server reply is an
+    /// [`io::ErrorKind::InvalidData`] error.
+    pub fn request(&mut self, opcode: OpCode, keys: &[u64]) -> io::Result<Reply> {
+        self.wbuf.clear();
+        encode_request(&mut self.wbuf, opcode, keys);
+        self.stream.write_all(&self.wbuf)?;
+        self.read_reply(opcode)
+    }
+
+    /// Sends a data batch and asserts protocol-level success.
+    ///
+    /// # Errors
+    ///
+    /// Transport errors, plus [`io::ErrorKind::InvalidData`] when the
+    /// server reports a non-zero status or a count mismatch.
+    pub fn data_op(&mut self, opcode: OpCode, keys: &[u64]) -> io::Result<Reply> {
+        let reply = self.request(opcode, keys)?;
+        if reply.status != crate::protocol::status::OK || reply.count as usize != keys.len() {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!(
+                    "server status {} (count {} vs {} keys sent)",
+                    reply.status,
+                    reply.count,
+                    keys.len()
+                ),
+            ));
+        }
+        Ok(reply)
+    }
+
+    /// Liveness probe.
+    ///
+    /// # Errors
+    ///
+    /// Propagates transport errors.
+    pub fn ping(&mut self) -> io::Result<bool> {
+        let reply = self.request(OpCode::Ping, &[])?;
+        Ok(reply.status == crate::protocol::status::OK)
+    }
+
+    /// Fetches the server's stats words (see `vcf_server::server` docs
+    /// for the word layout).
+    ///
+    /// # Errors
+    ///
+    /// Transport errors, plus [`io::ErrorKind::InvalidData`] on a
+    /// malformed stats reply.
+    pub fn stats(&mut self) -> io::Result<Vec<u64>> {
+        let reply = self.request(OpCode::Stats, &[])?;
+        let words = reply.stats_words();
+        if reply.status != crate::protocol::status::OK || words.len() != STATS_WORDS {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("bad stats reply: status {}", reply.status),
+            ));
+        }
+        Ok(words)
+    }
+
+    /// Sends raw bytes, bypassing frame encoding (malformed-frame tests).
+    ///
+    /// # Errors
+    ///
+    /// Propagates transport errors.
+    pub fn send_raw(&mut self, bytes: &[u8]) -> io::Result<()> {
+        self.stream.write_all(bytes)
+    }
+
+    /// Reads one reply frame. The response header does not echo the
+    /// opcode (the protocol is strictly one-in-flight per connection),
+    /// so the payload length is inferred from the opcode the caller
+    /// sent: data replies carry a `⌈count/8⌉`-byte bitmap, stats replies
+    /// `count` 8-byte words, pings and errors nothing.
+    ///
+    /// # Errors
+    ///
+    /// Transport errors, plus [`io::ErrorKind::InvalidData`] when the
+    /// reply header fails to decode or an oversized payload is claimed.
+    pub fn read_reply(&mut self, sent: OpCode) -> io::Result<Reply> {
+        let mut header = [0u8; HEADER_LEN];
+        self.stream.read_exact(&mut header)?;
+        let resp = ResponseHeader::decode(&header)
+            .map_err(|err| io::Error::new(io::ErrorKind::InvalidData, err.to_string()))?;
+        let payload_len = if resp.status == crate::protocol::status::OK {
+            match sent {
+                OpCode::Insert | OpCode::Lookup | OpCode::Delete => bitmap_len(resp.count as usize),
+                OpCode::Stats => resp.count as usize * 8,
+                OpCode::Ping => 0,
+            }
+        } else {
+            0
+        };
+        if payload_len > MAX_BATCH as usize * KEY_LEN {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("reply claims {payload_len} payload bytes"),
+            ));
+        }
+        let mut payload = vec![0u8; payload_len];
+        self.stream.read_exact(&mut payload)?;
+        Ok(Reply {
+            status: resp.status,
+            count: resp.count,
+            payload,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::protocol::{status, MAX_BATCH};
+    use std::io::Cursor;
+
+    #[test]
+    fn endpoint_parse_round_trips() {
+        let tcp = Endpoint::parse("tcp:127.0.0.1:7171").unwrap();
+        assert_eq!(tcp, Endpoint::Tcp("127.0.0.1:7171".into()));
+        assert_eq!(tcp.to_string(), "tcp:127.0.0.1:7171");
+        let uds = Endpoint::parse("uds:/tmp/x.sock").unwrap();
+        assert_eq!(uds, Endpoint::Uds(PathBuf::from("/tmp/x.sock")));
+        assert_eq!(uds.to_string(), "uds:/tmp/x.sock");
+        assert!(Endpoint::parse("http://nope").is_err());
+    }
+
+    #[test]
+    fn frame_reader_decodes_back_to_back_frames() {
+        let mut wire = Vec::new();
+        encode_request(&mut wire, OpCode::Insert, &[1, 2, 3]);
+        encode_request(&mut wire, OpCode::Ping, &[]);
+        encode_request(&mut wire, OpCode::Lookup, &[0xdead_beef]);
+        let mut reader = FrameReader::new(Cursor::new(wire));
+
+        match reader.read_frame().unwrap() {
+            Frame::Request { opcode, payload } => {
+                assert_eq!(opcode, OpCode::Insert);
+                let keys: Vec<u64> = payload
+                    .chunks_exact(KEY_LEN)
+                    .map(|c| u64::from_le_bytes(c.try_into().unwrap()))
+                    .collect();
+                assert_eq!(keys, vec![1, 2, 3]);
+            }
+            other => panic!("expected insert frame, got {other:?}"),
+        }
+        assert!(matches!(
+            reader.read_frame().unwrap(),
+            Frame::Request {
+                opcode: OpCode::Ping,
+                payload: &[]
+            }
+        ));
+        assert!(matches!(
+            reader.read_frame().unwrap(),
+            Frame::Request {
+                opcode: OpCode::Lookup,
+                ..
+            }
+        ));
+        assert!(matches!(reader.read_frame().unwrap(), Frame::Closed));
+        // Closed is sticky: reading again stays Closed, no panic.
+        assert!(matches!(reader.read_frame().unwrap(), Frame::Closed));
+    }
+
+    #[test]
+    fn frame_reader_recovers_after_drainable_garbage() {
+        // Unknown opcode with a 2-key payload, then a valid ping: the
+        // reader must drain the 16 payload bytes and find the ping.
+        let mut wire = Vec::new();
+        let bad = RequestHeader {
+            opcode: OpCode::Insert,
+            count: 2,
+        };
+        let mut bad_bytes = bad.encode();
+        bad_bytes[3] = 0x7f; // corrupt the opcode
+        wire.extend_from_slice(&bad_bytes);
+        wire.extend_from_slice(&[0u8; 2 * KEY_LEN]);
+        encode_request(&mut wire, OpCode::Ping, &[]);
+
+        let mut reader = FrameReader::new(Cursor::new(wire));
+        match reader.read_frame().unwrap() {
+            Frame::Malformed(err) => {
+                assert_eq!(
+                    err,
+                    WireError::BadOpcode {
+                        got: 0x7f,
+                        count: 2
+                    }
+                );
+            }
+            other => panic!("expected malformed frame, got {other:?}"),
+        }
+        assert!(matches!(
+            reader.read_frame().unwrap(),
+            Frame::Request {
+                opcode: OpCode::Ping,
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn truncated_header_and_payload_are_unexpected_eof() {
+        // 3 bytes of a header.
+        let mut reader = FrameReader::new(Cursor::new(vec![0x56u8, 0x46, 1]));
+        let err = reader.read_frame().unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::UnexpectedEof);
+
+        // Valid header claiming 4 keys, only 1 present.
+        let mut wire = Vec::new();
+        encode_request(&mut wire, OpCode::Delete, &[1, 2, 3, 4]);
+        wire.truncate(HEADER_LEN + KEY_LEN);
+        let mut reader = FrameReader::new(Cursor::new(wire));
+        let err = reader.read_frame().unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::UnexpectedEof);
+    }
+
+    #[test]
+    fn oversized_count_is_malformed_without_draining() {
+        let mut wire = Vec::new();
+        let header = RequestHeader {
+            opcode: OpCode::Insert,
+            count: 1,
+        };
+        let mut bytes = header.encode();
+        bytes[4..8].copy_from_slice(&(MAX_BATCH + 1).to_le_bytes());
+        wire.extend_from_slice(&bytes);
+        let mut reader = FrameReader::new(Cursor::new(wire));
+        match reader.read_frame().unwrap() {
+            Frame::Malformed(err) => assert_eq!(err.drainable_payload(), None),
+            other => panic!("expected malformed frame, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn response_encoding_matches_header_layout() {
+        let mut buf = Vec::new();
+        encode_response(&mut buf, status::OK, 3, &[0b0000_0101]);
+        assert_eq!(buf.len(), HEADER_LEN + 1);
+        let header = ResponseHeader::decode(&buf[..HEADER_LEN].try_into().unwrap()).unwrap();
+        assert_eq!(header.status, status::OK);
+        assert_eq!(header.count, 3);
+        assert_eq!(buf[HEADER_LEN], 0b0000_0101);
+    }
+
+    #[test]
+    fn reply_accessors() {
+        let reply = Reply {
+            status: status::OK,
+            count: 10,
+            payload: vec![0b0000_0010, 0b0000_0001],
+        };
+        assert!(!reply.bit(0));
+        assert!(reply.bit(1));
+        assert!(reply.bit(8));
+        assert!(!reply.bit(9));
+        let stats = Reply {
+            status: status::OK,
+            count: 2,
+            payload: [7u64.to_le_bytes(), 9u64.to_le_bytes()].concat(),
+        };
+        assert_eq!(stats.stats_words(), vec![7, 9]);
+    }
+}

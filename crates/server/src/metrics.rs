@@ -1,0 +1,178 @@
+//! Server counters and control flags — the one module in `vcf-server`
+//! allowed to touch atomics directly (enforced by `vcf-xtask lint`'s
+//! `atomic-ordering` allowlist).
+//!
+//! All counters are monotonically increasing `Relaxed` adds: they are
+//! observability, not synchronization, so no ordering stronger than
+//! atomicity is needed, and a torn read is impossible on `AtomicU64`.
+//! Everything else in the crate goes through this module's methods and
+//! never names an `Ordering` itself.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use vcf_traits::BatchOpKind;
+
+/// Data-plane and protocol counters, shared by every connection thread.
+#[derive(Debug, Default)]
+pub struct ServerMetrics {
+    connections: AtomicU64,
+    frames: AtomicU64,
+    insert_keys: AtomicU64,
+    lookup_keys: AtomicU64,
+    delete_keys: AtomicU64,
+    proto_errors: AtomicU64,
+    bytes_in: AtomicU64,
+    bytes_out: AtomicU64,
+}
+
+/// A point-in-time copy of [`ServerMetrics`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct MetricsSnapshot {
+    /// Connections accepted since start.
+    pub connections: u64,
+    /// Well-formed frames processed (data + control).
+    pub frames: u64,
+    /// Keys carried by insert frames.
+    pub insert_keys: u64,
+    /// Keys carried by lookup frames.
+    pub lookup_keys: u64,
+    /// Keys carried by delete frames.
+    pub delete_keys: u64,
+    /// Malformed frames rejected.
+    pub proto_errors: u64,
+    /// Request bytes received (headers + payloads).
+    pub bytes_in: u64,
+    /// Response bytes sent.
+    pub bytes_out: u64,
+}
+
+impl MetricsSnapshot {
+    /// Total data-plane keys across the three op kinds.
+    #[must_use]
+    pub fn data_keys(&self) -> u64 {
+        self.insert_keys + self.lookup_keys + self.delete_keys
+    }
+}
+
+impl ServerMetrics {
+    /// Fresh zeroed counters.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records an accepted connection.
+    pub fn record_connection(&self) {
+        self.connections.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one well-formed data frame of `keys` keys.
+    pub fn record_data_frame(&self, op: BatchOpKind, keys: u64) {
+        self.frames.fetch_add(1, Ordering::Relaxed);
+        let counter = match op {
+            BatchOpKind::Insert => &self.insert_keys,
+            BatchOpKind::Lookup => &self.lookup_keys,
+            BatchOpKind::Delete => &self.delete_keys,
+        };
+        counter.fetch_add(keys, Ordering::Relaxed);
+    }
+
+    /// Records one well-formed control frame (ping/stats).
+    pub fn record_control_frame(&self) {
+        self.frames.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one rejected malformed frame.
+    pub fn record_proto_error(&self) {
+        self.proto_errors.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Accounts request bytes.
+    pub fn add_bytes_in(&self, n: u64) {
+        self.bytes_in.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Accounts response bytes.
+    pub fn add_bytes_out(&self, n: u64) {
+        self.bytes_out.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// A consistent-enough copy for reporting (individually atomic
+    /// reads; the counters only ever grow).
+    #[must_use]
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        MetricsSnapshot {
+            connections: self.connections.load(Ordering::Relaxed),
+            frames: self.frames.load(Ordering::Relaxed),
+            insert_keys: self.insert_keys.load(Ordering::Relaxed),
+            lookup_keys: self.lookup_keys.load(Ordering::Relaxed),
+            delete_keys: self.delete_keys.load(Ordering::Relaxed),
+            proto_errors: self.proto_errors.load(Ordering::Relaxed),
+            bytes_in: self.bytes_in.load(Ordering::Relaxed),
+            bytes_out: self.bytes_out.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// A one-way shutdown latch shared between the accept loop and
+/// [`crate::server::ServerHandle::shutdown`]. `Relaxed` suffices: the
+/// flag gates no data, and the unblocking dummy connection provides the
+/// cross-thread rendezvous.
+#[derive(Debug, Default)]
+pub struct StopFlag(AtomicBool);
+
+impl StopFlag {
+    /// A fresh, unset flag.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Latches the flag.
+    pub fn set(&self) {
+        self.0.store(true, Ordering::Relaxed);
+    }
+
+    /// Whether the flag has been latched.
+    #[must_use]
+    pub fn is_set(&self) -> bool {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_per_kind() {
+        let metrics = ServerMetrics::new();
+        metrics.record_connection();
+        metrics.record_data_frame(BatchOpKind::Insert, 256);
+        metrics.record_data_frame(BatchOpKind::Lookup, 100);
+        metrics.record_data_frame(BatchOpKind::Delete, 10);
+        metrics.record_control_frame();
+        metrics.record_proto_error();
+        metrics.add_bytes_in(2048);
+        metrics.add_bytes_out(40);
+        let snap = metrics.snapshot();
+        assert_eq!(snap.connections, 1);
+        assert_eq!(snap.frames, 4);
+        assert_eq!(snap.insert_keys, 256);
+        assert_eq!(snap.lookup_keys, 100);
+        assert_eq!(snap.delete_keys, 10);
+        assert_eq!(snap.data_keys(), 366);
+        assert_eq!(snap.proto_errors, 1);
+        assert_eq!(snap.bytes_in, 2048);
+        assert_eq!(snap.bytes_out, 40);
+    }
+
+    #[test]
+    fn stop_flag_latches() {
+        let flag = StopFlag::new();
+        assert!(!flag.is_set());
+        flag.set();
+        assert!(flag.is_set());
+        flag.set();
+        assert!(flag.is_set());
+    }
+}

@@ -1,0 +1,485 @@
+//! The wire protocol: fixed-header frames carrying batches of 8-byte
+//! key hashes.
+//!
+//! Everything is little-endian and varint-free so a frame can be decoded
+//! with two `read_exact` calls and zero per-key parsing — the payload of
+//! a data frame *is* the key array, and the server borrows 8-byte slices
+//! straight out of the receive buffer.
+//!
+//! ```text
+//! request  := magic:u16 (0x4656 "VF") version:u8 opcode:u8 count:u32
+//!             payload: count × 8-byte key hash
+//! response := magic:u16 (0x5256 "VR") version:u8 status:u8 count:u32
+//!             payload: data ops  → ⌈count/8⌉-byte outcome bitmap
+//!                      ping      → empty
+//!                      stats     → count × u64 words
+//! ```
+//!
+//! Per-key outcomes are one bit (insert: stored, lookup: present,
+//! delete: removed), so a 256-op reply is a 40-byte frame. Malformed
+//! frames are classified by [`WireError`]: errors that leave the stream
+//! position trustworthy ([`WireError::drainable_payload`] `Some`) are
+//! answered and the connection recovers; anything that may have
+//! desynchronized framing is answered and the connection closes.
+//!
+//! This module is on the linted no-panic hot path: decoding hostile
+//! bytes must never be able to abort the server.
+
+use vcf_traits::BatchOpKind;
+
+/// Request-frame magic: `"VF"` on the wire (little-endian `0x4656`).
+pub const REQ_MAGIC: u16 = 0x4656;
+/// Response-frame magic: `"VR"` on the wire (little-endian `0x5256`).
+pub const RESP_MAGIC: u16 = 0x5256;
+/// Protocol version this build speaks.
+pub const WIRE_VERSION: u8 = 1;
+/// Both frame headers are exactly this long.
+pub const HEADER_LEN: usize = 8;
+/// Keys are fixed 8-byte hashes; the payload length of a data frame is
+/// always `count * KEY_LEN`.
+pub const KEY_LEN: usize = 8;
+/// Largest accepted batch. Bounds per-frame memory (512 KiB of keys) and
+/// makes `count * KEY_LEN` overflow-free on 32-bit hosts.
+pub const MAX_BATCH: u32 = 1 << 16;
+/// Number of `u64` words in a stats reply payload.
+pub const STATS_WORDS: usize = 8;
+
+/// Request opcodes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[repr(u8)]
+pub enum OpCode {
+    /// Store every key in the batch.
+    Insert = 1,
+    /// Membership-test every key in the batch.
+    Lookup = 2,
+    /// Remove one copy of every key in the batch.
+    Delete = 3,
+    /// Liveness probe; empty reply.
+    Ping = 4,
+    /// Server/engine counters as 8 `u64` words.
+    Stats = 5,
+}
+
+impl OpCode {
+    /// Decodes a wire byte.
+    #[must_use]
+    pub fn from_u8(byte: u8) -> Option<Self> {
+        match byte {
+            1 => Some(OpCode::Insert),
+            2 => Some(OpCode::Lookup),
+            3 => Some(OpCode::Delete),
+            4 => Some(OpCode::Ping),
+            5 => Some(OpCode::Stats),
+            _ => None,
+        }
+    }
+
+    /// Whether this opcode carries a key batch (vs. a control frame).
+    #[must_use]
+    pub fn is_data(self) -> bool {
+        matches!(self, OpCode::Insert | OpCode::Lookup | OpCode::Delete)
+    }
+
+    /// The batched-op kind a data opcode dispatches as.
+    #[must_use]
+    pub fn batch_kind(self) -> Option<BatchOpKind> {
+        match self {
+            OpCode::Insert => Some(BatchOpKind::Insert),
+            OpCode::Lookup => Some(BatchOpKind::Lookup),
+            OpCode::Delete => Some(BatchOpKind::Delete),
+            OpCode::Ping | OpCode::Stats => None,
+        }
+    }
+}
+
+/// Why a request frame was rejected.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WireError {
+    /// The first two bytes were not [`REQ_MAGIC`]; the peer is not
+    /// speaking this protocol (or the stream desynchronized).
+    BadMagic {
+        /// The magic actually read.
+        got: u16,
+    },
+    /// Unsupported protocol version.
+    BadVersion {
+        /// The version byte actually read.
+        got: u8,
+    },
+    /// Unknown opcode; `count` was parseable, so the payload length is
+    /// known and the connection can resynchronize by draining it.
+    BadOpcode {
+        /// The opcode byte actually read.
+        got: u8,
+        /// The frame's count field (trusted for draining only).
+        count: u32,
+    },
+    /// `count` exceeds [`MAX_BATCH`]; refusing to buffer or drain it.
+    OversizedBatch {
+        /// The opcode byte of the rejected frame.
+        opcode: u8,
+        /// The oversized count.
+        count: u32,
+    },
+    /// A data opcode with `count == 0`: nothing to do, and almost
+    /// certainly a client bug worth surfacing loudly.
+    EmptyBatch {
+        /// The data opcode of the rejected frame.
+        opcode: OpCode,
+    },
+    /// A control opcode (ping/stats) with a non-empty payload.
+    ControlPayload {
+        /// The control opcode of the rejected frame.
+        opcode: OpCode,
+        /// The unexpected count (trusted for draining only).
+        count: u32,
+    },
+}
+
+/// Response status codes (`0` is success).
+pub mod status {
+    /// Success.
+    pub const OK: u8 = 0;
+    /// [`super::WireError::BadMagic`].
+    pub const BAD_MAGIC: u8 = 1;
+    /// [`super::WireError::BadVersion`].
+    pub const BAD_VERSION: u8 = 2;
+    /// [`super::WireError::BadOpcode`].
+    pub const BAD_OPCODE: u8 = 3;
+    /// [`super::WireError::OversizedBatch`].
+    pub const OVERSIZED_BATCH: u8 = 4;
+    /// [`super::WireError::EmptyBatch`].
+    pub const EMPTY_BATCH: u8 = 5;
+    /// [`super::WireError::ControlPayload`].
+    pub const CONTROL_PAYLOAD: u8 = 6;
+    /// The server's data plane is shutting down or a worker died.
+    pub const INTERNAL: u8 = 7;
+}
+
+impl WireError {
+    /// The status byte reported back to the client.
+    #[must_use]
+    pub fn status(&self) -> u8 {
+        match self {
+            WireError::BadMagic { .. } => status::BAD_MAGIC,
+            WireError::BadVersion { .. } => status::BAD_VERSION,
+            WireError::BadOpcode { .. } => status::BAD_OPCODE,
+            WireError::OversizedBatch { .. } => status::OVERSIZED_BATCH,
+            WireError::EmptyBatch { .. } => status::EMPTY_BATCH,
+            WireError::ControlPayload { .. } => status::CONTROL_PAYLOAD,
+        }
+    }
+
+    /// How many payload bytes must be drained for the stream to remain
+    /// frame-synchronized, or `None` when framing can no longer be
+    /// trusted and the connection must close after responding.
+    #[must_use]
+    pub fn drainable_payload(&self) -> Option<usize> {
+        match self {
+            WireError::BadMagic { .. }
+            | WireError::BadVersion { .. }
+            | WireError::OversizedBatch { .. } => None,
+            WireError::BadOpcode { count, .. } | WireError::ControlPayload { count, .. } => {
+                Some(*count as usize * KEY_LEN)
+            }
+            WireError::EmptyBatch { .. } => Some(0),
+        }
+    }
+}
+
+impl core::fmt::Display for WireError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            WireError::BadMagic { got } => write!(f, "bad request magic 0x{got:04x}"),
+            WireError::BadVersion { got } => write!(f, "unsupported protocol version {got}"),
+            WireError::BadOpcode { got, .. } => write!(f, "unknown opcode {got}"),
+            WireError::OversizedBatch { count, .. } => {
+                write!(f, "batch of {count} keys exceeds the {MAX_BATCH} cap")
+            }
+            WireError::EmptyBatch { opcode } => {
+                write!(f, "zero-length batch for data opcode {opcode:?}")
+            }
+            WireError::ControlPayload { opcode, count } => {
+                write!(f, "control opcode {opcode:?} with {count} payload keys")
+            }
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+/// A decoded request header.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RequestHeader {
+    /// The requested operation.
+    pub opcode: OpCode,
+    /// Number of 8-byte keys that follow the header.
+    pub count: u32,
+}
+
+impl RequestHeader {
+    /// Encodes the 8-byte header.
+    #[must_use]
+    pub fn encode(&self) -> [u8; HEADER_LEN] {
+        let mut out = [0u8; HEADER_LEN];
+        out[0..2].copy_from_slice(&REQ_MAGIC.to_le_bytes());
+        out[2] = WIRE_VERSION;
+        out[3] = self.opcode as u8;
+        out[4..8].copy_from_slice(&self.count.to_le_bytes());
+        out
+    }
+
+    /// Decodes and validates an 8-byte header.
+    ///
+    /// # Errors
+    ///
+    /// Returns the [`WireError`] classifying the rejection; see
+    /// [`WireError::drainable_payload`] for the recovery contract.
+    pub fn decode(bytes: &[u8; HEADER_LEN]) -> Result<Self, WireError> {
+        let magic = u16::from_le_bytes([bytes[0], bytes[1]]);
+        if magic != REQ_MAGIC {
+            return Err(WireError::BadMagic { got: magic });
+        }
+        if bytes[2] != WIRE_VERSION {
+            return Err(WireError::BadVersion { got: bytes[2] });
+        }
+        let count = u32::from_le_bytes([bytes[4], bytes[5], bytes[6], bytes[7]]);
+        if count > MAX_BATCH {
+            return Err(WireError::OversizedBatch {
+                opcode: bytes[3],
+                count,
+            });
+        }
+        let Some(opcode) = OpCode::from_u8(bytes[3]) else {
+            return Err(WireError::BadOpcode {
+                got: bytes[3],
+                count,
+            });
+        };
+        if opcode.is_data() {
+            if count == 0 {
+                return Err(WireError::EmptyBatch { opcode });
+            }
+        } else if count != 0 {
+            return Err(WireError::ControlPayload { opcode, count });
+        }
+        Ok(Self { opcode, count })
+    }
+
+    /// Payload length in bytes implied by the header.
+    #[must_use]
+    pub fn payload_len(&self) -> usize {
+        self.count as usize * KEY_LEN
+    }
+}
+
+/// A decoded response header.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ResponseHeader {
+    /// Status byte; `0` is success (see [`status`]).
+    pub status: u8,
+    /// Number of result bits (data ops) or `u64` words (stats); `0` on
+    /// errors and pings.
+    pub count: u32,
+}
+
+impl ResponseHeader {
+    /// Encodes the 8-byte header.
+    #[must_use]
+    pub fn encode(&self) -> [u8; HEADER_LEN] {
+        let mut out = [0u8; HEADER_LEN];
+        out[0..2].copy_from_slice(&RESP_MAGIC.to_le_bytes());
+        out[2] = WIRE_VERSION;
+        out[3] = self.status;
+        out[4..8].copy_from_slice(&self.count.to_le_bytes());
+        out
+    }
+
+    /// Decodes an 8-byte response header (client side).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WireError::BadMagic`]/[`WireError::BadVersion`] when the
+    /// server reply is not a protocol frame.
+    pub fn decode(bytes: &[u8; HEADER_LEN]) -> Result<Self, WireError> {
+        let magic = u16::from_le_bytes([bytes[0], bytes[1]]);
+        if magic != RESP_MAGIC {
+            return Err(WireError::BadMagic { got: magic });
+        }
+        if bytes[2] != WIRE_VERSION {
+            return Err(WireError::BadVersion { got: bytes[2] });
+        }
+        Ok(Self {
+            status: bytes[3],
+            count: u32::from_le_bytes([bytes[4], bytes[5], bytes[6], bytes[7]]),
+        })
+    }
+}
+
+/// Bytes needed for a `count`-bit outcome bitmap.
+#[must_use]
+pub fn bitmap_len(count: usize) -> usize {
+    count.div_ceil(8)
+}
+
+/// Reads bit `i` of an outcome bitmap (out-of-range reads are `false`).
+#[must_use]
+pub fn bitmap_get(bitmap: &[u8], i: usize) -> bool {
+    bitmap
+        .get(i / 8)
+        .is_some_and(|byte| byte & (1u8 << (i % 8)) != 0)
+}
+
+/// Sets bit `i` of an outcome bitmap (out-of-range writes are dropped).
+pub fn bitmap_set(bitmap: &mut [u8], i: usize) {
+    if let Some(byte) = bitmap.get_mut(i / 8) {
+        *byte |= 1u8 << (i % 8);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn header_bytes(magic: u16, version: u8, opcode: u8, count: u32) -> [u8; HEADER_LEN] {
+        let mut out = [0u8; HEADER_LEN];
+        out[0..2].copy_from_slice(&magic.to_le_bytes());
+        out[2] = version;
+        out[3] = opcode;
+        out[4..8].copy_from_slice(&count.to_le_bytes());
+        out
+    }
+
+    #[test]
+    fn request_header_round_trips() {
+        for (opcode, count) in [
+            (OpCode::Insert, 1),
+            (OpCode::Lookup, 256),
+            (OpCode::Delete, MAX_BATCH),
+            (OpCode::Ping, 0),
+            (OpCode::Stats, 0),
+        ] {
+            let header = RequestHeader { opcode, count };
+            assert_eq!(RequestHeader::decode(&header.encode()), Ok(header));
+        }
+    }
+
+    #[test]
+    fn response_header_round_trips() {
+        for (code, count) in [(status::OK, 77), (status::EMPTY_BATCH, 0)] {
+            let header = ResponseHeader {
+                status: code,
+                count,
+            };
+            assert_eq!(ResponseHeader::decode(&header.encode()), Ok(header));
+        }
+    }
+
+    #[test]
+    fn rejects_bad_magic_and_version() {
+        assert_eq!(
+            RequestHeader::decode(&header_bytes(0x1234, WIRE_VERSION, 2, 1)),
+            Err(WireError::BadMagic { got: 0x1234 })
+        );
+        assert_eq!(
+            RequestHeader::decode(&header_bytes(REQ_MAGIC, 9, 2, 1)),
+            Err(WireError::BadVersion { got: 9 })
+        );
+    }
+
+    #[test]
+    fn rejects_bad_opcode_with_drainable_count() {
+        let err = RequestHeader::decode(&header_bytes(REQ_MAGIC, WIRE_VERSION, 0x7f, 3))
+            .expect_err("opcode 0x7f must fail");
+        assert_eq!(
+            err,
+            WireError::BadOpcode {
+                got: 0x7f,
+                count: 3
+            }
+        );
+        assert_eq!(err.drainable_payload(), Some(3 * KEY_LEN));
+        assert_eq!(err.status(), status::BAD_OPCODE);
+    }
+
+    #[test]
+    fn rejects_oversized_and_empty_batches() {
+        let oversized = RequestHeader::decode(&header_bytes(
+            REQ_MAGIC,
+            WIRE_VERSION,
+            OpCode::Insert as u8,
+            MAX_BATCH + 1,
+        ))
+        .expect_err("oversized must fail");
+        assert_eq!(oversized.drainable_payload(), None, "must close");
+
+        let empty = RequestHeader::decode(&header_bytes(
+            REQ_MAGIC,
+            WIRE_VERSION,
+            OpCode::Lookup as u8,
+            0,
+        ))
+        .expect_err("empty data batch must fail");
+        assert_eq!(
+            empty,
+            WireError::EmptyBatch {
+                opcode: OpCode::Lookup
+            }
+        );
+        assert_eq!(empty.drainable_payload(), Some(0), "trivially recoverable");
+    }
+
+    #[test]
+    fn rejects_control_frames_with_payload() {
+        let err = RequestHeader::decode(&header_bytes(
+            REQ_MAGIC,
+            WIRE_VERSION,
+            OpCode::Ping as u8,
+            2,
+        ))
+        .expect_err("ping with payload must fail");
+        assert_eq!(
+            err,
+            WireError::ControlPayload {
+                opcode: OpCode::Ping,
+                count: 2
+            }
+        );
+        assert_eq!(err.drainable_payload(), Some(2 * KEY_LEN));
+    }
+
+    #[test]
+    fn bitmap_round_trips_and_tolerates_out_of_range() {
+        let mut bitmap = vec![0u8; bitmap_len(11)];
+        assert_eq!(bitmap.len(), 2);
+        for i in [0usize, 3, 8, 10] {
+            bitmap_set(&mut bitmap, i);
+        }
+        for i in 0..11 {
+            assert_eq!(bitmap_get(&bitmap, i), [0usize, 3, 8, 10].contains(&i));
+        }
+        // Out-of-range accesses are inert, not panics.
+        bitmap_set(&mut bitmap, 1000);
+        assert!(!bitmap_get(&bitmap, 1000));
+    }
+
+    #[test]
+    fn opcode_batch_kinds() {
+        assert_eq!(OpCode::Insert.batch_kind(), Some(BatchOpKind::Insert));
+        assert_eq!(OpCode::Lookup.batch_kind(), Some(BatchOpKind::Lookup));
+        assert_eq!(OpCode::Delete.batch_kind(), Some(BatchOpKind::Delete));
+        assert_eq!(OpCode::Ping.batch_kind(), None);
+        assert!(OpCode::from_u8(0).is_none());
+        assert!(OpCode::from_u8(6).is_none());
+    }
+
+    #[test]
+    fn wire_error_display_is_informative() {
+        let text = WireError::OversizedBatch {
+            opcode: 1,
+            count: MAX_BATCH + 5,
+        }
+        .to_string();
+        assert!(text.contains("65541"), "{text}");
+    }
+}

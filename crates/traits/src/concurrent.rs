@@ -38,6 +38,15 @@ pub trait ConcurrentFilter: Send + Sync {
     /// counting filters.
     fn insert(&self, item: &[u8]) -> Result<(), InsertError>;
 
+    /// Inserts many items at once, returning one result per item in
+    /// order. Like [`Filter::insert_batch`], a full filter does not stop
+    /// the batch: each item reports its own outcome. Implementations
+    /// override this to batch lock acquisitions or reuse the sequential
+    /// prefetch pipelines under a single exclusive section.
+    fn insert_batch(&self, items: &[&[u8]]) -> Vec<Result<(), InsertError>> {
+        items.iter().map(|item| self.insert(item)).collect()
+    }
+
     /// Tests membership of `item`. May return false positives, never
     /// false negatives for items whose insertion happens-before the call.
     fn contains(&self, item: &[u8]) -> bool;
@@ -52,6 +61,13 @@ pub trait ConcurrentFilter: Send + Sync {
     /// Removes one copy of `item`; returns `true` if a matching entry was
     /// found and removed.
     fn delete(&self, item: &[u8]) -> bool;
+
+    /// Removes one copy of each item, returning one answer per item in
+    /// order. Implementations override this to take their exclusive
+    /// section once per batch instead of once per item.
+    fn delete_batch(&self, items: &[&[u8]]) -> Vec<bool> {
+        items.iter().map(|item| self.delete(item)).collect()
+    }
 
     /// Number of entries currently stored (exact at quiescence).
     fn len(&self) -> usize;
@@ -101,6 +117,14 @@ impl<F: Filter + Send + Sync> ConcurrentFilter for RwLock<F> {
         self.write().expect("filter lock poisoned").insert(item)
     }
 
+    fn insert_batch(&self, items: &[&[u8]]) -> Vec<Result<(), InsertError>> {
+        // One lock acquisition for the whole batch, and the sequential
+        // filter's own pipelined (prefetching) batch insert underneath.
+        self.write()
+            .expect("filter lock poisoned")
+            .insert_batch(items)
+    }
+
     fn contains(&self, item: &[u8]) -> bool {
         self.read().expect("filter lock poisoned").contains(item)
     }
@@ -114,6 +138,12 @@ impl<F: Filter + Send + Sync> ConcurrentFilter for RwLock<F> {
 
     fn delete(&self, item: &[u8]) -> bool {
         self.write().expect("filter lock poisoned").delete(item)
+    }
+
+    fn delete_batch(&self, items: &[&[u8]]) -> Vec<bool> {
+        // One lock acquisition for the whole batch.
+        let mut filter = self.write().expect("filter lock poisoned");
+        items.iter().map(|item| filter.delete(item)).collect()
     }
 
     fn len(&self) -> usize {
@@ -220,6 +250,21 @@ mod tests {
         assert_eq!(ConcurrentFilter::name(&filter), "Toy");
         ConcurrentFilter::reset_stats(&filter);
         assert_eq!(ConcurrentFilter::stats(&filter).inserts.calls, 0);
+    }
+
+    #[test]
+    fn rwlock_batched_mutations_match_serial_semantics() {
+        let filter = toy();
+        let keys: Vec<&[u8]> = vec![b"x", b"y", b"x"];
+        let results = ConcurrentFilter::insert_batch(&filter, &keys);
+        assert!(results.iter().all(Result::is_ok));
+        assert_eq!(ConcurrentFilter::len(&filter), 3);
+        // Deleting x twice removes both copies; a fourth delete misses.
+        assert_eq!(
+            ConcurrentFilter::delete_batch(&filter, &[b"x".as_slice(), b"x", b"y", b"y"]),
+            vec![true, true, true, false]
+        );
+        assert!(ConcurrentFilter::is_empty(&filter));
     }
 
     #[test]

@@ -36,12 +36,14 @@ mod concurrent;
 mod counters;
 mod ext;
 mod scalable;
+mod service;
 mod stats;
 
 pub use concurrent::ConcurrentFilter;
 pub use counters::Counters;
 pub use ext::FilterExt;
 pub use scalable::ScalableFilter;
+pub use service::{BatchOpKind, FilterService};
 pub use stats::{OpCounters, Stats};
 
 /// Error returned when an item cannot be inserted.

@@ -27,6 +27,7 @@ pub const ATOMIC_MODULES: &[&str] = &[
     "crates/table/src/atomic_bucket.rs",
     "crates/core/src/concurrent.rs",
     "crates/traits/src/counters.rs",
+    "crates/server/src/metrics.rs",
 ];
 
 /// Modules holding seqlock version words, where `Relaxed` loads need a
@@ -42,6 +43,11 @@ pub const HOT_PATH_MODULES: &[&str] = &[
     "crates/core/src/vcf.rs",
     "crates/core/src/evict.rs",
     "crates/core/src/scalable.rs",
+    // The wire server's decode/dispatch path: hostile bytes and full
+    // request floods must never be able to abort the process.
+    "crates/server/src/protocol.rs",
+    "crates/server/src/codec.rs",
+    "crates/server/src/executor.rs",
 ];
 
 /// The only directory allowed to contain `#[target_feature]`-gated SIMD

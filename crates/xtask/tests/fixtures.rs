@@ -116,6 +116,51 @@ fn no_panic_hot_path_fixtures() {
         include_str!("fixtures/hotpath_fail.rs"),
         "no-panic-hot-path",
     );
+    // The wire server's decode/dispatch path is hot-path covered: a
+    // panic while parsing hostile bytes would abort the whole server.
+    for server_module in [
+        "crates/server/src/protocol.rs",
+        "crates/server/src/codec.rs",
+        "crates/server/src/executor.rs",
+    ] {
+        assert_fails(
+            server_module,
+            include_str!("fixtures/hotpath_fail.rs"),
+            "no-panic-hot-path",
+        );
+        assert_passes(
+            server_module,
+            include_str!("fixtures/hotpath_pass.rs"),
+            "no-panic-hot-path",
+        );
+    }
+    // The server's connection/accept modules are not hot-path scoped.
+    assert_passes(
+        "crates/server/src/server.rs",
+        include_str!("fixtures/hotpath_fail.rs"),
+        "no-panic-hot-path",
+    );
+}
+
+#[test]
+fn server_atomics_confinement_fixtures() {
+    // Atomics belong in the server's metrics module only…
+    assert_passes(
+        "crates/server/src/metrics.rs",
+        include_str!("fixtures/atomic_fail.rs"),
+        "atomic-ordering",
+    );
+    // …hand-rolled orderings anywhere else in the crate still fire.
+    assert_fails(
+        "crates/server/src/server.rs",
+        include_str!("fixtures/atomic_fail.rs"),
+        "atomic-ordering",
+    );
+    assert_fails(
+        "crates/server/src/executor.rs",
+        include_str!("fixtures/atomic_fail.rs"),
+        "atomic-ordering",
+    );
 }
 
 #[test]
