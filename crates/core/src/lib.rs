@@ -62,7 +62,10 @@ pub mod evict;
 mod kvcf;
 mod scalable;
 mod sharded;
-mod snapshot;
+/// Versioned binary persistence: `VCF1`/`VCK1` filter snapshots and the
+/// `FUZ1` frozen-generation record.
+pub mod snapshot;
+mod tiered;
 mod vcf;
 mod vertical;
 
@@ -75,6 +78,7 @@ pub use kvcf::KVcf;
 pub use scalable::{MigrationStats, ScalableVcf};
 pub use sharded::{ShardRouter, ShardedConcurrentVcf, ShardedScalableVcf, ShardedVcf};
 pub use snapshot::SnapshotError;
+pub use tiered::{RotationStats, TieredFilter};
 pub use vcf::VerticalCuckooFilter;
 pub use vertical::{Candidates, VerticalParams};
 

@@ -602,6 +602,64 @@ impl ScalableVcf {
         )
     }
 
+    /// Canonical coset key for a `(coset low, fingerprint)` pair:
+    /// `(min candidate bucket) << 32 | fingerprint`. Theorem 1 closure
+    /// makes the minimum identical from every member bucket, so the same
+    /// key is derivable from a query item *and* from stored bits alone —
+    /// the partial-key invariant extended across the freeze boundary.
+    #[inline]
+    fn canonical_of(&self, fp: u32, low: usize) -> u64 {
+        let hfp = self.hash.hash_fingerprint(fp);
+        let lows = self.params.candidates(low, hfp);
+        ((lows.canonical_low() as u64) << 32) | u64::from(fp)
+    }
+
+    /// Canonical coset key of a query item (see
+    /// [`canonical_keys`](Self::canonical_keys)). Two items hashing to
+    /// the same `(coset, fingerprint)` pair share a key — exactly the
+    /// pairs this filter already cannot tell apart.
+    pub fn canonical_key(&self, item: &[u8]) -> u64 {
+        let (fp, low) = self.key_of(item);
+        self.canonical_of(fp, low)
+    }
+
+    /// Canonical coset keys of every stored fingerprint, derived from
+    /// stored bits alone (no original items needed): the freeze-boundary
+    /// export that lets a [`crate::TieredFilter`] drain this filter into
+    /// an immutable frozen generation.
+    pub fn canonical_keys(&self) -> impl Iterator<Item = u64> + '_ {
+        let mask = self.params.index_mask();
+        self.stored()
+            .map(move |(_seg, bucket, fp)| self.canonical_of(fp, bucket & (mask as usize)))
+    }
+
+    /// Number of physical buckets in segment `segment` (0 for an
+    /// out-of-range index) — the bound for
+    /// [`bucket_canonical_keys`](Self::bucket_canonical_keys) sweeps.
+    pub fn segment_buckets(&self, segment: usize) -> usize {
+        self.segments.get(segment).map_or(0, |s| s.table.buckets())
+    }
+
+    /// Appends the canonical coset keys stored in one physical bucket of
+    /// one segment to `out` — the bounded unit of rotation work, sized
+    /// exactly like PR 7's migration bucket-ranges so a tiered drain can
+    /// amortize across serving operations.
+    pub fn bucket_canonical_keys(&self, segment: usize, bucket: usize, out: &mut Vec<u64>) {
+        let mask = self.params.index_mask() as usize;
+        let Some(seg) = self.segments.get(segment) else {
+            return;
+        };
+        if bucket >= seg.table.buckets() {
+            return;
+        }
+        for slot in 0..seg.table.slots_per_bucket() {
+            let fp = seg.table.get(bucket, slot);
+            if fp != 0 {
+                out.push(self.canonical_of(fp, bucket & mask));
+            }
+        }
+    }
+
     /// Whether the active segment has hit the proactive-growth
     /// watermark.
     fn active_wants_growth(&self) -> bool {

@@ -38,6 +38,9 @@ pub const MAGIC: u32 = 0x5643_4631;
 /// Magic header for k-VCF snapshots: `"VCK1"`.
 pub const MAGIC_KVCF: u32 = 0x5643_4B31;
 
+/// Magic header for frozen binary-fuse generation records: `"FUZ1"`.
+pub const MAGIC_FUSE: u32 = 0x4655_5A31;
+
 /// Errors surfaced when restoring a snapshot.
 #[derive(Debug, Clone, PartialEq, Eq)]
 #[non_exhaustive]
@@ -59,6 +62,13 @@ pub enum SnapshotError {
         /// Occupancy counted from the slot data.
         counted: u64,
     },
+    /// Payload bytes do not hash to the recorded checksum.
+    ChecksumMismatch {
+        /// Checksum recorded in the header.
+        recorded: u64,
+        /// Checksum computed over the payload.
+        computed: u64,
+    },
 }
 
 impl core::fmt::Display for SnapshotError {
@@ -76,6 +86,12 @@ impl core::fmt::Display for SnapshotError {
                 write!(
                     f,
                     "snapshot occupancy mismatch: header says {recorded}, data has {counted}"
+                )
+            }
+            SnapshotError::ChecksumMismatch { recorded, computed } => {
+                write!(
+                    f,
+                    "snapshot checksum mismatch: header says {recorded:#018x}, payload hashes to {computed:#018x}"
                 )
             }
         }
@@ -307,6 +323,135 @@ impl KVcf {
     }
 }
 
+/// A versioned, self-describing record of one frozen binary-fuse
+/// generation — the `FUZ1` format.
+///
+/// The lane array is written **verbatim** (little-endian lane words), so
+/// a restored generation is bit-exact: every query, including every
+/// false positive, answers identically. The record carries everything
+/// needed to re-derive the probe geometry (seed, segment layout) plus an
+/// FNV-1a checksum over the lane bytes for corruption detection —
+/// groundwork for the durability tier's snapshot files without pulling
+/// in WAL scope.
+///
+/// Layout (all little-endian):
+///
+/// ```text
+/// magic                u32  0x46555A31 ("FUZ1")
+/// lane_bits            u8   (8 or 16)
+/// seed                 u64
+/// segment_length       u32  (power of two)
+/// segment_count_length u32
+/// array_length         u32  (total lanes)
+/// keys                 u64  (distinct canonical keys frozen)
+/// checksum             u64  (FNV-1a over the lane bytes)
+/// lanes                array_length × lane_bits/8 bytes, verbatim
+/// ```
+///
+/// The concrete fuse type lives in `vcf-sketches` (which depends on this
+/// crate); the record is defined here so every on-disk format — `VCF1`,
+/// `VCK1`, `FUZ1` — shares one home, one error type and one reader
+/// discipline.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FuseRecord {
+    /// Lane width in bits (8 or 16).
+    pub lane_bits: u32,
+    /// Hash seed the generation was built with.
+    pub seed: u64,
+    /// Segment length (power of two).
+    pub segment_length: u32,
+    /// `segment_count × segment_length` — the window-start range.
+    pub segment_count_length: u32,
+    /// Total number of lanes.
+    pub array_length: u32,
+    /// Distinct canonical keys frozen into the generation.
+    pub keys: u64,
+    /// Lane words, packed little-endian (`array_length × lane_bits/8`
+    /// bytes).
+    pub lanes: Vec<u8>,
+}
+
+impl FuseRecord {
+    /// Checksum of the lane payload: FNV-1a, matching the workspace's
+    /// from-scratch hash crate.
+    fn checksum_of(lanes: &[u8]) -> u64 {
+        HashKind::Fnv1a.hash64(lanes)
+    }
+
+    /// Serializes the record to `FUZ1` bytes.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(41 + self.lanes.len());
+        out.extend_from_slice(&MAGIC_FUSE.to_le_bytes());
+        out.push(self.lane_bits as u8);
+        out.extend_from_slice(&self.seed.to_le_bytes());
+        out.extend_from_slice(&self.segment_length.to_le_bytes());
+        out.extend_from_slice(&self.segment_count_length.to_le_bytes());
+        out.extend_from_slice(&self.array_length.to_le_bytes());
+        out.extend_from_slice(&self.keys.to_le_bytes());
+        out.extend_from_slice(&Self::checksum_of(&self.lanes).to_le_bytes());
+        out.extend_from_slice(&self.lanes);
+        out
+    }
+
+    /// Restores a record from [`FuseRecord::encode`] bytes.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`SnapshotError`] for truncated buffers, foreign magic
+    /// numbers, inconsistent geometry, or a checksum mismatch.
+    pub fn decode(buffer: &[u8]) -> Result<Self, SnapshotError> {
+        let mut reader = Reader { buffer, at: 0 };
+        let magic = reader.u32()?;
+        if magic != MAGIC_FUSE {
+            return Err(SnapshotError::BadMagic { found: magic });
+        }
+        let lane_bits = u32::from(reader.u8()?);
+        let seed = reader.u64()?;
+        let segment_length = reader.u32()?;
+        let segment_count_length = reader.u32()?;
+        let array_length = reader.u32()?;
+        let keys = reader.u64()?;
+        let recorded = reader.u64()?;
+
+        if lane_bits != 8 && lane_bits != 16 {
+            return Err(SnapshotError::BadConfig(BuildError::InvalidConfig {
+                reason: format!("unsupported fuse lane width {lane_bits} bits"),
+            }));
+        }
+        if array_length > 0 && (!segment_length.is_power_of_two() || segment_count_length == 0) {
+            return Err(SnapshotError::BadConfig(BuildError::InvalidConfig {
+                reason: format!(
+                    "inconsistent fuse geometry: segment_length {segment_length}, \
+                     segment_count_length {segment_count_length}"
+                ),
+            }));
+        }
+        let lane_bytes = array_length as usize * (lane_bits as usize / 8);
+        let end = reader
+            .at
+            .checked_add(lane_bytes)
+            .ok_or(SnapshotError::Truncated)?;
+        let lanes = reader
+            .buffer
+            .get(reader.at..end)
+            .ok_or(SnapshotError::Truncated)?
+            .to_vec();
+        let computed = Self::checksum_of(&lanes);
+        if computed != recorded {
+            return Err(SnapshotError::ChecksumMismatch { recorded, computed });
+        }
+        Ok(Self {
+            lane_bits,
+            seed,
+            segment_length,
+            segment_count_length,
+            array_length,
+            keys,
+            lanes,
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -472,5 +617,96 @@ mod tests {
         }
         bytes[at] = 9; // count > slots_per_bucket
         assert!(KVcf::from_snapshot(&bytes).is_err());
+    }
+
+    fn sample_fuse_record() -> FuseRecord {
+        FuseRecord {
+            lane_bits: 8,
+            seed: 0xfeed_beef_dead_cafe,
+            segment_length: 64,
+            segment_count_length: 256,
+            array_length: 384,
+            keys: 300,
+            lanes: (0..384u32)
+                .map(|i| (i.wrapping_mul(37) >> 2) as u8)
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn fuse_record_round_trips_bit_exactly() {
+        let record = sample_fuse_record();
+        let bytes = record.encode();
+        let back = FuseRecord::decode(&bytes).unwrap();
+        assert_eq!(back, record);
+    }
+
+    #[test]
+    fn fuse_record_sixteen_bit_lanes_round_trip() {
+        let mut record = sample_fuse_record();
+        record.lane_bits = 16;
+        record.lanes = (0..768u32)
+            .map(|i| (i.wrapping_mul(131) >> 3) as u8)
+            .collect();
+        let back = FuseRecord::decode(&record.encode()).unwrap();
+        assert_eq!(back, record);
+    }
+
+    #[test]
+    fn fuse_record_rejects_foreign_magic() {
+        let bytes = loaded_filter().to_snapshot();
+        assert!(matches!(
+            FuseRecord::decode(&bytes),
+            Err(SnapshotError::BadMagic { .. })
+        ));
+        let fuse_bytes = sample_fuse_record().encode();
+        assert!(matches!(
+            VerticalCuckooFilter::from_snapshot(&fuse_bytes),
+            Err(SnapshotError::BadMagic { .. })
+        ));
+    }
+
+    #[test]
+    fn fuse_record_rejects_flipped_lane_bit() {
+        let record = sample_fuse_record();
+        let mut bytes = record.encode();
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0x10; // corrupt one lane word
+        assert!(matches!(
+            FuseRecord::decode(&bytes),
+            Err(SnapshotError::ChecksumMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn fuse_record_rejects_truncation_and_bad_geometry() {
+        let record = sample_fuse_record();
+        let bytes = record.encode();
+        assert!(matches!(
+            FuseRecord::decode(&bytes[..bytes.len() - 1]),
+            Err(SnapshotError::Truncated)
+        ));
+
+        let mut odd = record.clone();
+        odd.lane_bits = 12;
+        assert!(matches!(
+            FuseRecord::decode(&odd.encode()),
+            Err(SnapshotError::BadConfig(_))
+        ));
+
+        let mut skew = record;
+        skew.segment_length = 48; // not a power of two
+        assert!(matches!(
+            FuseRecord::decode(&skew.encode()),
+            Err(SnapshotError::BadConfig(_))
+        ));
+    }
+
+    #[test]
+    fn fuse_record_checksum_error_is_descriptive() {
+        let recorded = 0x1111;
+        let computed = 0x2222;
+        let text = SnapshotError::ChecksumMismatch { recorded, computed }.to_string();
+        assert!(text.contains("checksum"), "got: {text}");
     }
 }

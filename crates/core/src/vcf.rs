@@ -216,6 +216,30 @@ impl VerticalCuckooFilter {
         self.table.load_factor()
     }
 
+    /// Canonical coset key of a query item: `(min candidate bucket) <<
+    /// 32 | fingerprint`. Theorem 1 closure makes the minimum identical
+    /// from every member bucket, so the same key is derivable from
+    /// stored bits alone (see [`canonical_keys`](Self::canonical_keys))
+    /// — the freeze-boundary representation used by the tiered
+    /// lifecycle. Two items hashing to the same `(coset, fingerprint)`
+    /// pair share a key — exactly the pairs this filter already cannot
+    /// tell apart.
+    pub fn canonical_key(&self, item: &[u8]) -> u64 {
+        let (fp, b1) = self.key_of(item);
+        let cands = self.candidates_of(fp, b1);
+        ((cands.canonical_low() as u64) << 32) | u64::from(fp)
+    }
+
+    /// Canonical coset keys of every stored fingerprint, derived from
+    /// stored bits alone (no original items needed) — the partial-key
+    /// invariant extended across the freeze boundary.
+    pub fn canonical_keys(&self) -> impl Iterator<Item = u64> + '_ {
+        self.table.iter().map(|(bucket, _slot, fp)| {
+            let cands = self.candidates_of(fp, bucket);
+            ((cands.canonical_low() as u64) << 32) | u64::from(fp)
+        })
+    }
+
     #[inline]
     fn key_of(&self, item: &[u8]) -> (u32, usize) {
         key::hash_item(

@@ -38,6 +38,23 @@ impl Candidates {
     pub fn iter(&self) -> impl Iterator<Item = usize> + '_ {
         self.buckets.iter().copied()
     }
+
+    /// The smallest candidate bucket index — a member-independent
+    /// representative of the coset. Theorem 1 closure means every member
+    /// bucket yields the same candidate *set*, so the minimum is the same
+    /// no matter which member it is computed from; pairing it with the
+    /// fingerprint gives a canonical 64-bit key derivable from stored
+    /// bits alone (the freeze-boundary representation used by
+    /// `TieredFilter`).
+    pub fn canonical_low(&self) -> usize {
+        let mut low = self.buckets[0];
+        for &b in &self.buckets {
+            if b < low {
+                low = b;
+            }
+        }
+        low
+    }
 }
 
 /// Precomputed vertical-hashing parameters for a concrete table geometry:

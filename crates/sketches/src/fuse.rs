@@ -1,0 +1,945 @@
+//! Immutable 3-wise binary fuse filters — the frozen tier of the filter
+//! lifecycle.
+//!
+//! A cuckoo-family filter earns its insertion machinery on churn-heavy
+//! hot data; a generation that has stopped mutating pays cuckoo rent
+//! (partial occupancy, eviction headroom) forever. "Xor Filters: Faster
+//! and Smaller Than Bloom and Cuckoo Filters" and its binary-fuse
+//! successor show an *immutable* set can be ~25% smaller and faster to
+//! query: store one `f`-bit lane per array position and arrange, by
+//! peeling at construction time, that every key's fingerprint equals the
+//! XOR of its three lanes.
+//!
+//! The variant here is the 3-wise **binary fuse** layout: the three
+//! probe positions of a key land in three *consecutive segments* of a
+//! small power-of-two length, so a query touches a narrow window instead
+//! of the whole array — three loads that usually share a cache page.
+//!
+//! Construction is *incremental*: [`FuseBuilder`] splits the build into
+//! bounded [`step`](FuseBuilder::step) units (mirroring the elastic
+//! filter's budgeted bucket-range migration) so a serving thread can
+//! amortize a freeze across operations. Keys are 64-bit **canonical
+//! coset keys** exported by the hot tier from its stored bits alone
+//! (`ScalableVcf::canonical_keys`) — freezing never needs the original
+//! items, the paper's partial-key invariant extended to the lifecycle.
+
+use std::collections::HashSet;
+
+use vcf_core::snapshot::{FuseRecord, SnapshotError};
+use vcf_hash::mix64;
+use vcf_traits::{BuildError, FrozenBuilder, FrozenSet};
+
+/// Keys a unit of incremental construction work visits; sized so one
+/// unit costs the same order of magnitude as one migrated bucket-range
+/// in the elastic hot tier.
+const CHUNK: usize = 512;
+
+/// Hard cap on segment length (matches the reference binary-fuse
+/// layout): beyond this, larger segments stop helping locality.
+const MAX_SEGMENT_LENGTH: u32 = 1 << 18;
+
+/// A lane word of the fuse array: the stored per-key fingerprint width.
+///
+/// Implemented for [`u8`] (ε ≈ 2⁻⁸, ~9 bits/key) and [`u16`]
+/// (ε ≈ 2⁻¹⁶, ~18 bits/key).
+pub trait FuseLane: Copy + Eq + Default {
+    /// Lane width in bits.
+    const BITS: u32;
+
+    /// Truncates a mixed hash to one lane — the key's fingerprint.
+    fn from_hash(h: u64) -> Self;
+
+    /// XOR of two lanes.
+    fn xor(self, other: Self) -> Self;
+
+    /// Widens to `u16` for serialization (lanes are at most 16 bits).
+    fn to_u16(self) -> u16;
+
+    /// Narrows from `u16` for deserialization.
+    fn from_u16(v: u16) -> Self;
+}
+
+impl FuseLane for u8 {
+    const BITS: u32 = 8;
+
+    #[inline]
+    fn from_hash(h: u64) -> Self {
+        h as u8
+    }
+
+    #[inline]
+    fn xor(self, other: Self) -> Self {
+        self ^ other
+    }
+
+    #[inline]
+    fn to_u16(self) -> u16 {
+        u16::from(self)
+    }
+
+    #[inline]
+    fn from_u16(v: u16) -> Self {
+        v as u8
+    }
+}
+
+impl FuseLane for u16 {
+    const BITS: u32 = 16;
+
+    #[inline]
+    fn from_hash(h: u64) -> Self {
+        h as u16
+    }
+
+    #[inline]
+    fn xor(self, other: Self) -> Self {
+        self ^ other
+    }
+
+    #[inline]
+    fn to_u16(self) -> u16 {
+        self
+    }
+
+    #[inline]
+    fn from_u16(v: u16) -> Self {
+        v
+    }
+}
+
+/// The segment geometry of a fuse array, fixed by the key count.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Layout {
+    segment_length: u32,
+    segment_length_mask: u32,
+    segment_count_length: u32,
+    array_length: u32,
+}
+
+impl Layout {
+    /// Geometry for `n` distinct keys, following the reference
+    /// binary-fuse sizing: segment length grows like `3.33^…` with `n`,
+    /// and the over-provisioning factor shrinks toward 1.125 (≈ 9
+    /// bits/key for 8-bit lanes) as `n` grows.
+    fn for_keys(n: usize) -> Self {
+        let size = n.max(1) as f64;
+        let segment_length = if n < 4 {
+            4
+        } else {
+            let exp = (size.ln() / 3.33_f64.ln() + 2.25).floor() as u32;
+            (1u32 << exp.min(31)).clamp(4, MAX_SEGMENT_LENGTH)
+        };
+        let size_factor = if n <= 1 {
+            2.0
+        } else {
+            (0.875 + 0.25 * 1.0e6_f64.ln() / size.ln()).max(1.125)
+        };
+        let capacity = (size * size_factor).round() as u64;
+        let init_segment_count = (capacity.div_ceil(u64::from(segment_length)).max(3) - 2).max(1);
+        let init_segment_count = u32::try_from(init_segment_count).unwrap_or(u32::MAX >> 20);
+        Self {
+            segment_length,
+            segment_length_mask: segment_length - 1,
+            segment_count_length: init_segment_count * segment_length,
+            array_length: (init_segment_count + 2) * segment_length,
+        }
+    }
+
+    /// The three probe positions of a mixed hash: a window start in
+    /// `[0, segment_count_length)` by multiply-high, then one position
+    /// in each of three consecutive segments. Every result is provably
+    /// `< array_length` (the window start is below
+    /// `segment_count_length` and the XORs only permute within one
+    /// segment), which is what lets the query path index without bounds
+    /// checks.
+    #[inline]
+    fn positions(&self, h: u64) -> [usize; 3] {
+        let hi = ((u128::from(h) * u128::from(self.segment_count_length)) >> 64) as u64;
+        let h0 = hi;
+        let mut h1 = h0 + u64::from(self.segment_length);
+        let h2 = h1 + u64::from(self.segment_length);
+        h1 ^= (h >> 18) & u64::from(self.segment_length_mask);
+        let h2 = h2 ^ (h & u64::from(self.segment_length_mask));
+        [h0 as usize, h1 as usize, h2 as usize]
+    }
+}
+
+/// Mixes a canonical key with the construction seed. `mix64` is a
+/// bijection, so distinct keys stay distinct under every seed — seed
+/// retries only re-randomize the *positions*, never merge keys.
+#[inline]
+fn mix_key(key: u64, seed: u64) -> u64 {
+    mix64(key ^ seed)
+}
+
+/// The lane fingerprint of a mixed hash: fold the high half down so the
+/// fingerprint and the (high-bits-derived) window start stay nearly
+/// independent.
+#[inline]
+fn fingerprint_of<L: FuseLane>(h: u64) -> L {
+    L::from_hash(h ^ (h >> 32))
+}
+
+/// Advances the construction seed after a failed peel attempt.
+#[inline]
+fn next_seed(seed: u64) -> u64 {
+    mix64(seed.wrapping_add(0x9E37_79B9_7F4A_7C15))
+}
+
+/// An immutable 3-wise binary fuse filter over 64-bit canonical keys.
+///
+/// Built once from a staged key set (via [`FuseBuilder`], usually
+/// behind the [`FrozenSet`] trait), then queried forever: no inserts,
+/// no deletes, no false negatives for any staged key, and a false
+/// positive rate of ≈ `2^-L::BITS`. Storage is `array_length` lanes ≈
+/// `1.125 × keys` for large sets — ~9 bits/key at 8-bit lanes, ~25%
+/// below a cuckoo table's `f / α` with headroom.
+///
+/// # Examples
+///
+/// ```
+/// use vcf_sketches::BinaryFuse8;
+///
+/// let keys: Vec<u64> = (0..1000u64).map(|i| i.wrapping_mul(0x9E37_79B9)).collect();
+/// let fuse = BinaryFuse8::from_keys(&keys, 0x5eed)?;
+/// assert!(keys.iter().all(|&k| fuse.contains_key(k)));
+/// # Ok::<(), vcf_traits::BuildError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BinaryFuse<L: FuseLane> {
+    seed: u64,
+    layout: Layout,
+    lanes: Vec<L>,
+    keys: usize,
+}
+
+/// 8-bit-lane binary fuse: ε ≈ 2⁻⁸ at ~9 bits/key — the frozen-tier
+/// default.
+pub type BinaryFuse8 = BinaryFuse<u8>;
+
+/// 16-bit-lane binary fuse: ε ≈ 2⁻¹⁶ at ~18 bits/key.
+pub type BinaryFuse16 = BinaryFuse<u16>;
+
+impl<L: FuseLane> BinaryFuse<L> {
+    /// Bulk-builds a fuse filter from a key slice (duplicates are
+    /// deduplicated — a frozen generation has set semantics), driving
+    /// the incremental builder to completion in one call.
+    ///
+    /// # Errors
+    ///
+    /// Construction retries with fresh seeds until peeling succeeds, so
+    /// failure is cryptographically improbable; the `Result` exists
+    /// because [`FrozenBuilder::finish`] is fallible by contract.
+    pub fn from_keys(keys: &[u64], seed: u64) -> Result<Self, BuildError> {
+        let mut builder = Self::begin(seed);
+        for &key in keys {
+            builder.push(key);
+        }
+        builder.seal();
+        while builder.backlog() > 0 {
+            builder.step(usize::MAX);
+        }
+        builder.finish()
+    }
+
+    /// Membership test. No false negatives for staged keys; false
+    /// positives at ≈ `2^-L::BITS`.
+    #[inline]
+    pub fn contains_key(&self, key: u64) -> bool {
+        if self.keys == 0 {
+            return false;
+        }
+        let h = mix_key(key, self.seed);
+        let fp = fingerprint_of::<L>(h);
+        let [h0, h1, h2] = self.layout.positions(h);
+        // Positions are < array_length by construction (see
+        // `Layout::positions`); the decoder re-validates the invariant
+        // for restored snapshots.
+        debug_assert!(h2.max(h1).max(h0) < self.lanes.len());
+        fp == self.lanes[h0].xor(self.lanes[h1]).xor(self.lanes[h2])
+    }
+
+    /// Batched membership: one answer per key, in order. Two-pass —
+    /// hash every key and resolve its three positions first, then probe
+    /// — so the position arithmetic of key *i+1* overlaps the lane
+    /// loads of key *i* instead of serialising on cache misses.
+    pub fn contains_keys(&self, keys: &[u64]) -> Vec<bool> {
+        if self.keys == 0 {
+            return vec![false; keys.len()];
+        }
+        let mut probes = Vec::with_capacity(keys.len());
+        for &key in keys {
+            let h = mix_key(key, self.seed);
+            probes.push((fingerprint_of::<L>(h), self.layout.positions(h)));
+        }
+        let mut out = Vec::with_capacity(keys.len());
+        for &(fp, [h0, h1, h2]) in &probes {
+            debug_assert!(h2.max(h1).max(h0) < self.lanes.len());
+            out.push(fp == self.lanes[h0].xor(self.lanes[h1]).xor(self.lanes[h2]));
+        }
+        out
+    }
+
+    /// Number of distinct keys frozen into the filter.
+    pub fn len(&self) -> usize {
+        self.keys
+    }
+
+    /// Whether the filter holds no keys.
+    pub fn is_empty(&self) -> bool {
+        self.keys == 0
+    }
+
+    /// Heap bytes backing the lane array.
+    pub fn storage_bytes(&self) -> usize {
+        self.lanes.len() * (L::BITS as usize / 8)
+    }
+
+    /// Total lane count (`≈ 1.125 × len` for large sets).
+    pub fn array_length(&self) -> usize {
+        self.lanes.len()
+    }
+
+    /// The construction seed that peeling succeeded with.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Serializes to a versioned [`FuseRecord`] (the `FUZ1` format):
+    /// layout parameters plus the lane words verbatim, so the restored
+    /// filter answers every query — including every false positive —
+    /// identically.
+    pub fn to_record(&self) -> FuseRecord {
+        let mut lane_bytes = Vec::with_capacity(self.storage_bytes());
+        for lane in &self.lanes {
+            let v = lane.to_u16();
+            lane_bytes.push(v as u8);
+            if L::BITS == 16 {
+                lane_bytes.push((v >> 8) as u8);
+            }
+        }
+        FuseRecord {
+            lane_bits: L::BITS,
+            seed: self.seed,
+            segment_length: self.layout.segment_length,
+            segment_count_length: self.layout.segment_count_length,
+            array_length: self.layout.array_length,
+            keys: self.keys as u64,
+            lanes: lane_bytes,
+        }
+    }
+
+    /// Encodes to `FUZ1` snapshot bytes ([`FuseRecord::encode`]).
+    pub fn to_snapshot(&self) -> Vec<u8> {
+        self.to_record().encode()
+    }
+
+    /// Restores from a decoded [`FuseRecord`], re-validating every
+    /// invariant the unchecked query path relies on (lane width, the
+    /// `array_length = segment_count_length + 2·segment_length`
+    /// identity, byte-length consistency).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SnapshotError::BadConfig`] when the record's geometry
+    /// does not describe a valid fuse array of this lane width.
+    pub fn from_record(record: &FuseRecord) -> Result<Self, SnapshotError> {
+        if record.lane_bits != L::BITS {
+            return Err(SnapshotError::BadConfig(BuildError::InvalidConfig {
+                reason: format!(
+                    "fuse record has {}-bit lanes, expected {}",
+                    record.lane_bits,
+                    L::BITS
+                ),
+            }));
+        }
+        let sl = record.segment_length;
+        if !sl.is_power_of_two()
+            || record.array_length != record.segment_count_length + 2 * sl
+            || !record.segment_count_length.is_multiple_of(sl)
+        {
+            return Err(SnapshotError::BadConfig(BuildError::InvalidConfig {
+                reason: format!(
+                    "fuse record geometry is inconsistent: segment_length {sl}, \
+                     segment_count_length {}, array_length {}",
+                    record.segment_count_length, record.array_length
+                ),
+            }));
+        }
+        let bytes_per_lane = L::BITS as usize / 8;
+        if record.lanes.len() != record.array_length as usize * bytes_per_lane {
+            return Err(SnapshotError::BadConfig(BuildError::InvalidConfig {
+                reason: format!(
+                    "fuse record lane payload is {} bytes, geometry implies {}",
+                    record.lanes.len(),
+                    record.array_length as usize * bytes_per_lane
+                ),
+            }));
+        }
+        let lanes = record
+            .lanes
+            .chunks_exact(bytes_per_lane)
+            .map(|c| {
+                let lo = u16::from(c[0]);
+                let hi = c.get(1).map_or(0u16, |&b| u16::from(b) << 8);
+                L::from_u16(lo | hi)
+            })
+            .collect();
+        Ok(Self {
+            seed: record.seed,
+            layout: Layout {
+                segment_length: sl,
+                segment_length_mask: sl - 1,
+                segment_count_length: record.segment_count_length,
+                array_length: record.array_length,
+            },
+            lanes,
+            keys: record.keys as usize,
+        })
+    }
+
+    /// Decodes `FUZ1` snapshot bytes and restores the filter
+    /// bit-exactly.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`FuseRecord::decode`] errors (magic, truncation,
+    /// checksum) plus the geometry validation of
+    /// [`from_record`](Self::from_record).
+    pub fn from_snapshot(bytes: &[u8]) -> Result<Self, SnapshotError> {
+        Self::from_record(&FuseRecord::decode(bytes)?)
+    }
+}
+
+impl<L: FuseLane> FrozenSet for BinaryFuse<L> {
+    type Builder = FuseBuilder<L>;
+
+    fn begin(seed: u64) -> FuseBuilder<L> {
+        FuseBuilder::new(seed)
+    }
+
+    fn contains_key(&self, key: u64) -> bool {
+        BinaryFuse::contains_key(self, key)
+    }
+
+    fn contains_keys(&self, keys: &[u64]) -> Vec<bool> {
+        BinaryFuse::contains_keys(self, keys)
+    }
+
+    fn len(&self) -> usize {
+        BinaryFuse::len(self)
+    }
+
+    fn storage_bytes(&self) -> usize {
+        BinaryFuse::storage_bytes(self)
+    }
+
+    fn fingerprint_bits(&self) -> u32 {
+        L::BITS
+    }
+}
+
+/// Construction phases, in order. A failed peel attempt re-seeds and
+/// falls back to [`Phase::Count`]; everything else advances forward.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Phase {
+    /// Accepting keys; no construction work available yet.
+    Staging,
+    /// Scattering each staged key's hash into the count/xor arrays.
+    Count { next: usize },
+    /// Scanning the arrays for positions with exactly one key.
+    QueueScan { next: usize },
+    /// Peeling: repeatedly detach a position that holds a single key.
+    Peel,
+    /// Writing lanes in reverse peel order.
+    Assign { next: usize },
+    /// Construction complete; `finish` will succeed.
+    Done,
+}
+
+/// Incremental binary-fuse construction: stage keys, [`seal`]
+/// (computing the layout), then drive bounded [`step`] units until the
+/// [`backlog`] reaches zero — the freeze-side mirror of the elastic
+/// filter's budgeted migration.
+///
+/// Peeling is probabilistic: an attempt can fail (the hypergraph has a
+/// 2-core), in which case the builder silently re-seeds and restarts
+/// counting, growing the backlog transiently. For distinct staged keys
+/// the retry succeeds with overwhelming probability per attempt.
+///
+/// [`seal`]: FrozenBuilder::seal
+/// [`step`]: FrozenBuilder::step
+/// [`backlog`]: FrozenBuilder::backlog
+#[derive(Debug, Clone)]
+pub struct FuseBuilder<L: FuseLane> {
+    seed: u64,
+    staged: Vec<u64>,
+    dedup: HashSet<u64>,
+    layout: Layout,
+    phase: Phase,
+    /// Keys mapped to each position this attempt (pure count).
+    counts: Vec<u32>,
+    /// XOR of the hashes mapped to each position: when a position's
+    /// count is 1, its xor IS the remaining key's hash.
+    xorhash: Vec<u64>,
+    /// Positions whose count just reached 1, pending peeling.
+    queue: Vec<u32>,
+    /// Peeled `(hash, position)` pairs, in peel order.
+    stack: Vec<(u64, u32)>,
+    lanes: Vec<L>,
+    attempts: u32,
+}
+
+impl<L: FuseLane> FuseBuilder<L> {
+    fn new(seed: u64) -> Self {
+        Self {
+            seed,
+            staged: Vec::new(),
+            dedup: HashSet::new(),
+            layout: Layout::for_keys(0),
+            phase: Phase::Staging,
+            counts: Vec::new(),
+            xorhash: Vec::new(),
+            queue: Vec::new(),
+            stack: Vec::new(),
+            lanes: Vec::new(),
+            attempts: 0,
+        }
+    }
+
+    /// Construction attempts so far (1 ⇔ first peel succeeded).
+    pub fn attempts(&self) -> u32 {
+        self.attempts
+    }
+
+    /// Resets the per-attempt arrays and restarts counting under a
+    /// fresh seed. Lanes are untouched — they are only written in the
+    /// assign phase, which cannot fail.
+    fn restart_attempt(&mut self) {
+        self.attempts += 1;
+        self.seed = next_seed(self.seed);
+        self.counts.fill(0);
+        self.xorhash.fill(0);
+        self.queue.clear();
+        self.stack.clear();
+        self.phase = Phase::Count { next: 0 };
+    }
+
+    fn unit_count(&mut self, next: usize) {
+        let end = (next + CHUNK).min(self.staged.len());
+        for i in next..end {
+            // `i` and the three positions are in range by construction;
+            // re-checked here so the release build stays branch-free.
+            debug_assert!(i < self.staged.len());
+            let h = mix_key(self.staged[i], self.seed);
+            for pos in self.layout.positions(h) {
+                debug_assert!(pos < self.counts.len());
+                self.counts[pos] += 1;
+                self.xorhash[pos] ^= h;
+            }
+        }
+        self.phase = if end == self.staged.len() {
+            Phase::QueueScan { next: 0 }
+        } else {
+            Phase::Count { next: end }
+        };
+    }
+
+    fn unit_queue_scan(&mut self, next: usize) {
+        let end = (next + 4 * CHUNK).min(self.counts.len());
+        for pos in next..end {
+            debug_assert!(pos < self.counts.len());
+            if self.counts[pos] == 1 {
+                self.queue.push(pos as u32);
+            }
+        }
+        self.phase = if end == self.counts.len() {
+            Phase::Peel
+        } else {
+            Phase::QueueScan { next: end }
+        };
+    }
+
+    fn unit_peel(&mut self) {
+        for _ in 0..CHUNK {
+            let Some(pos) = self.queue.pop() else {
+                break;
+            };
+            let pos = pos as usize;
+            debug_assert!(pos < self.counts.len());
+            if self.counts[pos] != 1 {
+                continue; // stale entry: peeled past it already
+            }
+            let h = self.xorhash[pos];
+            self.stack.push((h, pos as u32));
+            for p in self.layout.positions(h) {
+                debug_assert!(p < self.counts.len());
+                self.counts[p] -= 1;
+                self.xorhash[p] ^= h;
+                if self.counts[p] == 1 {
+                    self.queue.push(p as u32);
+                }
+            }
+        }
+        if self.queue.is_empty() {
+            if self.stack.len() == self.staged.len() {
+                self.phase = Phase::Assign { next: 0 };
+            } else {
+                // The remaining hypergraph has a 2-core: this seed
+                // cannot be peeled. Re-seed and start over.
+                self.restart_attempt();
+            }
+        }
+    }
+
+    fn unit_assign(&mut self, next: usize) {
+        let end = (next + CHUNK).min(self.stack.len());
+        // Reverse peel order: by the time a pair is assigned, its two
+        // sibling positions hold their final lanes (or will never be
+        // written, staying zero), so XOR closes the equation exactly.
+        for i in next..end {
+            debug_assert!(self.stack.len() > i);
+            let (h, pos) = self.stack[self.stack.len() - 1 - i];
+            let pos = pos as usize;
+            let fp = fingerprint_of::<L>(h);
+            let [h0, h1, h2] = self.layout.positions(h);
+            debug_assert!(h2.max(h1).max(h0) < self.lanes.len() && pos < self.lanes.len());
+            let others = self.lanes[h0].xor(self.lanes[h1]).xor(self.lanes[h2]);
+            self.lanes[pos] = fp.xor(others);
+        }
+        self.phase = if end == self.stack.len() {
+            Phase::Done
+        } else {
+            Phase::Assign { next: end }
+        };
+    }
+
+    /// Performs one bounded unit of work. Returns `false` when no work
+    /// is available (unsealed or done).
+    fn step_one(&mut self) -> bool {
+        match self.phase {
+            Phase::Staging | Phase::Done => false,
+            Phase::Count { next } => {
+                self.unit_count(next);
+                true
+            }
+            Phase::QueueScan { next } => {
+                self.unit_queue_scan(next);
+                true
+            }
+            Phase::Peel => {
+                self.unit_peel();
+                true
+            }
+            Phase::Assign { next } => {
+                self.unit_assign(next);
+                true
+            }
+        }
+    }
+
+    fn units(n: usize) -> usize {
+        n.div_ceil(CHUNK)
+    }
+
+    /// Remaining units for the current phase and every later one; ≥ 1
+    /// for every phase except `Done` so `backlog() == 0` is exactly the
+    /// completion test (`Staging` reports the full pipeline estimate).
+    fn estimate_backlog(&self) -> usize {
+        let keys = self.staged.len();
+        let scan_units = |from: usize, len: usize| len.saturating_sub(from).div_ceil(4 * CHUNK);
+        let array = match self.phase {
+            Phase::Staging => Layout::for_keys(keys).array_length as usize,
+            _ => self.counts.len(),
+        };
+        let full_scan = scan_units(0, array);
+        match self.phase {
+            Phase::Staging => (Self::units(keys) + full_scan + 2 * Self::units(keys)).max(1),
+            Phase::Count { next } => {
+                Self::units(keys - next) + full_scan + 2 * Self::units(keys).max(1)
+            }
+            Phase::QueueScan { next } => {
+                scan_units(next, array).max(1)
+                    + Self::units(keys - self.stack.len()).max(1)
+                    + Self::units(keys)
+            }
+            Phase::Peel => Self::units(keys - self.stack.len()).max(1) + Self::units(keys),
+            Phase::Assign { next } => Self::units(self.stack.len() - next).max(1),
+            Phase::Done => 0,
+        }
+    }
+}
+
+impl<L: FuseLane> FrozenBuilder for FuseBuilder<L> {
+    type Set = BinaryFuse<L>;
+
+    fn push(&mut self, key: u64) {
+        if matches!(self.phase, Phase::Staging) && self.dedup.insert(key) {
+            self.staged.push(key);
+        }
+    }
+
+    fn seal(&mut self) {
+        if !matches!(self.phase, Phase::Staging) {
+            return;
+        }
+        self.layout = Layout::for_keys(self.staged.len());
+        let len = self.layout.array_length as usize;
+        self.counts = vec![0; len];
+        self.xorhash = vec![0; len];
+        self.lanes = vec![L::default(); len];
+        self.queue = Vec::new();
+        self.stack = Vec::with_capacity(self.staged.len());
+        self.attempts = 1;
+        self.phase = Phase::Count { next: 0 };
+    }
+
+    fn step(&mut self, units: usize) -> usize {
+        let mut done = 0;
+        while done < units {
+            if !self.step_one() {
+                break;
+            }
+            done += 1;
+        }
+        done
+    }
+
+    fn backlog(&self) -> usize {
+        self.estimate_backlog()
+    }
+
+    fn staged(&self) -> usize {
+        self.staged.len()
+    }
+
+    fn finish(self) -> Result<BinaryFuse<L>, BuildError> {
+        if !matches!(self.phase, Phase::Done) {
+            return Err(BuildError::InvalidConfig {
+                reason: format!(
+                    "fuse construction incomplete: {} backlog units remain (call step first)",
+                    self.estimate_backlog()
+                ),
+            });
+        }
+        Ok(BinaryFuse {
+            seed: self.seed,
+            layout: self.layout,
+            lanes: self.lanes,
+            keys: self.staged.len(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn keys(n: u64) -> Vec<u64> {
+        // Distinct by construction: mix64 is a bijection.
+        (0..n).map(|i| mix64(i.wrapping_add(0x5eed))).collect()
+    }
+
+    #[test]
+    fn every_staged_key_is_found() {
+        for n in [0u64, 1, 2, 3, 10, 100, 1000, 10_000] {
+            let ks = keys(n);
+            let fuse = BinaryFuse8::from_keys(&ks, 42).unwrap();
+            assert_eq!(fuse.len(), n as usize);
+            for &k in &ks {
+                assert!(fuse.contains_key(k), "n={n} lost key {k:#x}");
+            }
+        }
+    }
+
+    #[test]
+    fn sixteen_bit_lanes_hold_every_key() {
+        let ks = keys(5000);
+        let fuse = BinaryFuse16::from_keys(&ks, 7).unwrap();
+        assert!(ks.iter().all(|&k| fuse.contains_key(k)));
+        assert_eq!(fuse.storage_bytes(), fuse.array_length() * 2);
+    }
+
+    #[test]
+    fn empty_filter_rejects_everything() {
+        let fuse = BinaryFuse8::from_keys(&[], 3).unwrap();
+        assert!(fuse.is_empty());
+        assert!(!fuse.contains_key(0));
+        assert!(!fuse.contains_key(u64::MAX));
+        assert_eq!(fuse.contains_keys(&[1, 2, 3]), vec![false; 3]);
+    }
+
+    #[test]
+    fn duplicates_are_deduplicated() {
+        let mut ks = keys(500);
+        ks.extend(keys(500)); // every key twice — would never peel raw
+        let fuse = BinaryFuse8::from_keys(&ks, 9).unwrap();
+        assert_eq!(fuse.len(), 500);
+        assert!(ks.iter().all(|&k| fuse.contains_key(k)));
+    }
+
+    #[test]
+    fn batch_matches_serial() {
+        let ks = keys(2000);
+        let fuse = BinaryFuse8::from_keys(&ks, 11).unwrap();
+        let mut probe: Vec<u64> = ks[..100].to_vec();
+        probe.extend((0..100).map(|i| mix64(i + 999_999)));
+        let batch = fuse.contains_keys(&probe);
+        for (i, &k) in probe.iter().enumerate() {
+            assert_eq!(batch[i], fuse.contains_key(k));
+        }
+    }
+
+    #[test]
+    fn fpr_is_near_the_lane_model() {
+        let ks = keys(20_000);
+        let fuse = BinaryFuse8::from_keys(&ks, 13).unwrap();
+        let aliens: Vec<u64> = (0..200_000u64)
+            .map(|i| mix64(i ^ 0xdead_beef_0000))
+            .collect();
+        let fp = aliens.iter().filter(|&&k| fuse.contains_key(k)).count();
+        let measured = fp as f64 / aliens.len() as f64;
+        let model = (2.0f64).powi(-8);
+        assert!(
+            measured < 2.5 * model && measured > model / 4.0,
+            "measured {measured:.6}, model {model:.6}"
+        );
+    }
+
+    #[test]
+    fn bits_per_key_is_near_nine_at_scale() {
+        // The size factor converges to 1.125 (9.0 bits/key) at 2^20
+        // keys; at this cheaper test size it sits at ≈ 1.17.
+        let ks = keys(1 << 17);
+        let fuse = BinaryFuse8::from_keys(&ks, 1).unwrap();
+        let bits = fuse.storage_bytes() as f64 * 8.0 / ks.len() as f64;
+        assert!((8.9..9.6).contains(&bits), "bits/key = {bits:.3}");
+    }
+
+    #[test]
+    fn construction_is_deterministic() {
+        let ks = keys(3000);
+        let a = BinaryFuse8::from_keys(&ks, 77).unwrap();
+        let b = BinaryFuse8::from_keys(&ks, 77).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn incremental_steps_reach_zero_backlog() {
+        let ks = keys(10_000);
+        let mut builder = BinaryFuse8::begin(5);
+        for &k in &ks {
+            builder.push(k);
+        }
+        assert_eq!(builder.staged(), ks.len());
+        builder.seal();
+        let mut total = 0;
+        while builder.backlog() > 0 {
+            let did = builder.step(1);
+            assert!(did <= 1);
+            total += did;
+            assert!(total < 100_000, "no forward progress");
+        }
+        assert_eq!(builder.step(10), 0, "done builder performs no work");
+        let fuse = builder.finish().unwrap();
+        assert!(ks.iter().all(|&k| fuse.contains_key(k)));
+    }
+
+    #[test]
+    fn finish_before_completion_is_an_error() {
+        let mut builder = BinaryFuse8::begin(5);
+        for &k in &keys(100) {
+            builder.push(k);
+        }
+        builder.seal();
+        assert!(builder.backlog() > 0);
+        assert!(builder.clone().finish().is_err());
+    }
+
+    #[test]
+    fn push_after_seal_is_ignored() {
+        let mut builder = BinaryFuse8::begin(5);
+        builder.push(1);
+        builder.seal();
+        builder.push(2);
+        assert_eq!(builder.staged(), 1);
+    }
+
+    #[test]
+    fn unsealed_builder_does_no_work() {
+        let mut builder = BinaryFuse8::begin(5);
+        builder.push(1);
+        assert_eq!(builder.step(100), 0);
+        assert!(builder.backlog() > 0);
+    }
+
+    #[test]
+    fn snapshot_round_trips_bit_exactly() {
+        let ks = keys(4000);
+        let fuse = BinaryFuse8::from_keys(&ks, 21).unwrap();
+        let restored = BinaryFuse8::from_snapshot(&fuse.to_snapshot()).unwrap();
+        assert_eq!(restored, fuse);
+        // Identical answers on alien probes too (same false positives).
+        for i in 0..5000u64 {
+            let k = mix64(i ^ 0xface);
+            assert_eq!(restored.contains_key(k), fuse.contains_key(k));
+        }
+    }
+
+    #[test]
+    fn snapshot_round_trips_sixteen_bit() {
+        let fuse = BinaryFuse16::from_keys(&keys(1234), 2).unwrap();
+        let restored = BinaryFuse16::from_snapshot(&fuse.to_snapshot()).unwrap();
+        assert_eq!(restored, fuse);
+    }
+
+    #[test]
+    fn snapshot_rejects_wrong_lane_width() {
+        let fuse = BinaryFuse8::from_keys(&keys(100), 2).unwrap();
+        assert!(matches!(
+            BinaryFuse16::from_snapshot(&fuse.to_snapshot()),
+            Err(SnapshotError::BadConfig(_))
+        ));
+    }
+
+    #[test]
+    fn snapshot_rejects_corrupted_geometry() {
+        let fuse = BinaryFuse8::from_keys(&keys(100), 2).unwrap();
+        let mut record = fuse.to_record();
+        record.segment_count_length += 1; // breaks the array-length identity
+        assert!(matches!(
+            BinaryFuse8::from_record(&record),
+            Err(SnapshotError::BadConfig(_))
+        ));
+    }
+
+    #[test]
+    fn layout_positions_stay_in_bounds() {
+        for n in [1usize, 3, 57, 1000, 1 << 16] {
+            let layout = Layout::for_keys(n);
+            for i in 0..10_000u64 {
+                let [h0, h1, h2] = layout.positions(mix64(i));
+                let len = layout.array_length as usize;
+                assert!(h0 < len && h1 < len && h2 < len, "n={n} i={i}");
+            }
+        }
+    }
+
+    #[test]
+    fn frozen_set_trait_surface() {
+        let ks = keys(300);
+        let mut builder = <BinaryFuse8 as FrozenSet>::begin(1);
+        for &k in &ks {
+            builder.push(k);
+        }
+        builder.seal();
+        while builder.backlog() > 0 {
+            builder.step(4);
+        }
+        let fuse = builder.finish().unwrap();
+        assert_eq!(FrozenSet::len(&fuse), 300);
+        assert_eq!(FrozenSet::fingerprint_bits(&fuse), 8);
+        assert!(FrozenSet::contains_key(&fuse, ks[0]));
+        assert!(FrozenSet::storage_bytes(&fuse) > 0);
+    }
+}

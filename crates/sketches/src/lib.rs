@@ -22,12 +22,21 @@
 //! All variants keep their structural guarantees (Count-Min never
 //! undercounts; Bloom never false-negatives); the tests and the
 //! `sketch_ablation` bench quantify the accuracy/speed trade.
+//!
+//! The crate also hosts the **frozen tier** of the filter lifecycle:
+//!
+//! * [`BinaryFuse8`] / [`BinaryFuse16`] — immutable 3-wise binary fuse
+//!   filters built incrementally ([`FuseBuilder`]) from a VCF's
+//!   canonical coset keys, ~9 (resp. ~18) bits/key — the generation
+//!   type behind `vcf-core`'s `TieredFilter`.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 mod bloom_vertical;
 mod count_min;
+mod fuse;
 
 pub use bloom_vertical::VerticalBloomFilter;
 pub use count_min::{ClassicCountMin, CountMin, VerticalCountMin};
+pub use fuse::{BinaryFuse, BinaryFuse16, BinaryFuse8, FuseBuilder, FuseLane};

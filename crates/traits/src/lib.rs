@@ -35,6 +35,7 @@ use core::fmt;
 mod concurrent;
 mod counters;
 mod ext;
+mod frozen;
 mod scalable;
 mod service;
 mod stats;
@@ -42,6 +43,7 @@ mod stats;
 pub use concurrent::ConcurrentFilter;
 pub use counters::Counters;
 pub use ext::FilterExt;
+pub use frozen::{FrozenBuilder, FrozenSet, LifecycleFilter};
 pub use scalable::ScalableFilter;
 pub use service::{BatchOpKind, FilterService};
 pub use stats::{OpCounters, Stats};

@@ -48,6 +48,11 @@ pub const HOT_PATH_MODULES: &[&str] = &[
     "crates/server/src/protocol.rs",
     "crates/server/src/codec.rs",
     "crates/server/src/executor.rs",
+    // The frozen tier's query path and the tiered façade's lookups:
+    // `contains`/`contains_batch` fan across every generation on the
+    // request path, so a panic here aborts reads, not just writes.
+    "crates/sketches/src/fuse.rs",
+    "crates/core/src/tiered.rs",
 ];
 
 /// The only directory allowed to contain `#[target_feature]`-gated SIMD

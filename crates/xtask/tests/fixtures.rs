@@ -140,6 +140,21 @@ fn no_panic_hot_path_fixtures() {
         include_str!("fixtures/hotpath_fail.rs"),
         "no-panic-hot-path",
     );
+    // The frozen tier's query path and the tiered façade's lookup fan-out
+    // are hot-path covered: `contains`/`contains_batch` cross every
+    // generation, so a panic there aborts reads.
+    for tiered_module in ["crates/sketches/src/fuse.rs", "crates/core/src/tiered.rs"] {
+        assert_fails(
+            tiered_module,
+            include_str!("fixtures/hotpath_fail.rs"),
+            "no-panic-hot-path",
+        );
+        assert_passes(
+            tiered_module,
+            include_str!("fixtures/hotpath_pass.rs"),
+            "no-panic-hot-path",
+        );
+    }
 }
 
 #[test]

@@ -25,7 +25,7 @@
 //! | [`traits`] | `vcf-traits` | the `Filter` trait, errors, stats |
 //! | [`workloads`] | `vcf-workloads` | HIGGS-like datasets, key streams, churn traces |
 //! | [`analysis`] | `vcf-analysis` | Section V analytic model |
-//! | [`sketches`] | `vcf-sketches` | vertical-hashing Count-Min sketch |
+//! | [`sketches`] | `vcf-sketches` | vertical-hashing Count-Min sketch, binary fuse filters |
 
 #![forbid(unsafe_code)]
 
@@ -38,16 +38,28 @@ pub use vcf_table as table;
 pub use vcf_traits as traits;
 pub use vcf_workloads as workloads;
 
+/// Hot/cold tiered filter in the working configuration: a `ScalableVcf`
+/// hot tier rotating into frozen 8-bit binary fuse generations
+/// (ε ≈ 2⁻⁸ cold tier at ~9 bits/key).
+pub type TieredVcf = vcf_core::TieredFilter<vcf_sketches::BinaryFuse8>;
+
+/// Tiered filter with 16-bit fuse lanes: a lower cold-tier false
+/// positive rate (ε ≈ 2⁻¹⁶) at ~18 bits/key.
+pub type TieredVcf16 = vcf_core::TieredFilter<vcf_sketches::BinaryFuse16>;
+
 /// The types most applications need, in one import.
 pub mod prelude {
+    pub use crate::{TieredVcf, TieredVcf16};
     pub use vcf_baselines::CuckooFilter;
     pub use vcf_core::{
         ConcurrentVcf, CuckooConfig, Dvcf, DynamicVcf, KVcf, ScalableVcf, ShardedConcurrentVcf,
-        ShardedScalableVcf, ShardedVcf, VerticalCuckooFilter,
+        ShardedScalableVcf, ShardedVcf, TieredFilter, VerticalCuckooFilter,
     };
     pub use vcf_hash::HashKind;
+    pub use vcf_sketches::{BinaryFuse16, BinaryFuse8};
     pub use vcf_traits::{
-        BuildError, ConcurrentFilter, Filter, FilterExt, InsertError, ScalableFilter, Stats,
+        BuildError, ConcurrentFilter, Filter, FilterExt, FrozenBuilder, FrozenSet, InsertError,
+        LifecycleFilter, ScalableFilter, Stats,
     };
 }
 
@@ -66,5 +78,21 @@ mod tests {
             filter.insert_best_effort(keys.iter().map(Vec::as_slice)),
             10
         );
+    }
+
+    #[test]
+    fn tiered_alias_rotates_end_to_end() {
+        let mut filter = TieredVcf::new(CuckooConfig::new(1 << 8)).unwrap();
+        for i in 0..500u32 {
+            filter.insert(&i.to_le_bytes()).unwrap();
+        }
+        assert!(filter.rotate());
+        while filter.rotation_backlog() > 0 {
+            filter.rotate_step(64);
+        }
+        assert_eq!(filter.generations(), 1);
+        for i in 0..500u32 {
+            assert!(filter.contains(&i.to_le_bytes()), "key {i} lost");
+        }
     }
 }

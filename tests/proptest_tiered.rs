@@ -1,0 +1,130 @@
+//! Property tests for the tiered hot/cold lifecycle — the rotation
+//! analogue of `proptest_scalable.rs`'s migration obligations.
+//!
+//! Rotation's invariance contract is sharper than migration's in one
+//! direction and necessarily weaker in the other:
+//!
+//! * While a rotation is *in flight* (source still serving), **no
+//!   lookup answer changes at all** — present or absent — because the
+//!   source keeps answering with its exact table until the frozen
+//!   generation is installed.
+//! * Across the *install* step, answers are **monotone**: `true` can
+//!   never become `false` (zero false negatives — the canonical key of
+//!   every stored fingerprint, and of every query the source
+//!   false-positives on, is frozen verbatim), while `false` may become
+//!   `true` with probability ≈ 2⁻ᶠ (the frozen tier's own false
+//!   positives). Asserting bit-identical answers across install would
+//!   be asserting that an approximate structure is exact.
+
+use proptest::prelude::*;
+use std::collections::HashSet;
+use vertical_cuckoo_filters::prelude::*;
+
+fn answers(f: &TieredVcf16, queries: &[Vec<u8>]) -> Vec<bool> {
+    queries.iter().map(|q| f.contains(q)).collect()
+}
+
+proptest! {
+    /// Interleaved `rotate_step` calls never change any lookup answer
+    /// while the rotation is in flight, and answers stay monotone
+    /// (never true → false) across the install; present keys are found
+    /// at every point. Batched lookups agree with serial throughout.
+    #[test]
+    fn rotation_preserves_lookup_answers(
+        n in 50usize..300,
+        step in 1usize..9,
+        seed in 0u64..500,
+    ) {
+        let config = CuckooConfig::new(1 << 6)
+            .with_fingerprint_bits(16)
+            .with_seed(seed);
+        let mut f = TieredVcf16::new(config).unwrap();
+        f.set_rotate_budget(0); // rotation advances only where interleaved
+
+        let present: Vec<Vec<u8>> = (0..n)
+            .map(|i| format!("present-{seed}-{i}").into_bytes())
+            .collect();
+        for k in &present {
+            prop_assert!(f.insert(k).is_ok());
+        }
+        let queries: Vec<Vec<u8>> = present
+            .iter()
+            .cloned()
+            .chain((0..n).map(|i| format!("absent-{seed}-{i}").into_bytes()))
+            .collect();
+        let baseline = answers(&f, &queries);
+        prop_assert!(baseline[..n].iter().all(|&b| b), "false negative pre-rotation");
+
+        prop_assert!(f.rotate());
+        let mut before_install = baseline.clone();
+        let mut guard = 0;
+        while f.rotation_backlog() > 0 {
+            let installed_before = f.generations();
+            let did = f.rotate_step(step);
+            prop_assert!(did <= step, "rotate_step exceeded its budget");
+            let now = answers(&f, &queries);
+            if f.generations() == installed_before {
+                // Source still serving: bit-identical answers.
+                prop_assert_eq!(&before_install, &now,
+                    "an in-flight rotation step changed a lookup answer");
+            } else {
+                // Install happened inside this step: monotone only.
+                for (i, (&was, &is)) in before_install.iter().zip(&now).enumerate() {
+                    prop_assert!(!was || is,
+                        "install flipped answer {} true → false (false negative)", i);
+                }
+                before_install = now;
+            }
+            guard += 1;
+            prop_assert!(guard < 100_000, "rotation never converged");
+        }
+
+        let after = answers(&f, &queries);
+        prop_assert!(after[..n].iter().all(|&b| b), "false negative after rotation");
+        for (i, (&was, &is)) in baseline.iter().zip(&after).enumerate() {
+            prop_assert!(!was || is, "rotation lost answer {}", i);
+        }
+        let refs: Vec<&[u8]> = queries.iter().map(Vec::as_slice).collect();
+        prop_assert_eq!(f.contains_batch(&refs), after,
+            "batched lookups diverged from serial after rotation");
+    }
+
+    /// Rotations composed with churn never lose an acknowledged key:
+    /// keys inserted before, during and after arbitrary rotation points
+    /// all remain present; successful deletes stay deleted from the hot
+    /// tier's answers only when no older generation also holds the key.
+    #[test]
+    fn churn_with_rotations_never_false_negatives(
+        rounds in 1usize..4,
+        per_round in 30usize..150,
+        step in 1usize..16,
+        seed in 0u64..500,
+    ) {
+        let config = CuckooConfig::new(1 << 6).with_seed(seed);
+        let mut f = TieredVcf16::new(config).unwrap();
+        let mut oracle: HashSet<Vec<u8>> = HashSet::new();
+
+        for round in 0..rounds {
+            for i in 0..per_round {
+                let k = format!("churn-{seed}-{round}-{i}").into_bytes();
+                prop_assert!(f.insert(&k).is_ok());
+                oracle.insert(k);
+            }
+            prop_assert!(f.rotate());
+            let mut guard = 0;
+            while f.rotation_backlog() > 0 {
+                f.rotate_step(step);
+                guard += 1;
+                prop_assert!(guard < 100_000, "rotation never converged");
+            }
+            prop_assert_eq!(f.generations(), round + 1);
+            for k in &oracle {
+                prop_assert!(f.contains(k), "acknowledged key lost after round {}", round);
+            }
+        }
+        // Every generation's metadata is consistent with what was fed in.
+        let lens = f.generation_lens();
+        prop_assert_eq!(lens.len(), rounds);
+        prop_assert!(lens.iter().all(|&l| l > 0 && l <= per_round));
+    }
+}

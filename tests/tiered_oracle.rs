@@ -1,0 +1,208 @@
+//! Differential oracle for the hot/cold tiered lifecycle.
+//!
+//! A `TieredVcf` runs a churn workload with rotations interleaved at
+//! arbitrary points while an exact `HashSet` oracle tracks which keys
+//! have been acknowledged. The contract mirrors what PR 7 proved for
+//! `migrate_step`, extended across the freeze boundary:
+//!
+//! * **Zero false negatives at every intermediate step**: every key the
+//!   filter acknowledged (inserted, not successfully deleted) is found
+//!   before, during and after each rotation.
+//! * **Bounded work per call**: an insert advances an in-flight
+//!   rotation by at most `rotate_budget` units; `rotate_step(n)` by at
+//!   most `n`.
+//! * **Exact hot-tier accounting**: `hashes = 2·inserts + kicks` holds
+//!   on the hot tier regardless of rotation work.
+
+use std::collections::HashSet;
+use vertical_cuckoo_filters::prelude::*;
+
+fn key(tag: &str, i: u64) -> Vec<u8> {
+    format!("{tag}-{i}").into_bytes()
+}
+
+/// Asserts every oracle key is present — the no-false-negative half of
+/// the contract, checked at every lifecycle point.
+fn assert_no_false_negatives(filter: &TieredVcf, oracle: &HashSet<Vec<u8>>, when: &str) {
+    for k in oracle {
+        assert!(
+            filter.contains(k),
+            "false negative {when}: {:?} acknowledged but not found",
+            String::from_utf8_lossy(k)
+        );
+    }
+}
+
+#[test]
+fn rotation_never_loses_acknowledged_keys() {
+    let mut filter = TieredVcf::new(CuckooConfig::new(1 << 8).with_seed(0xfeed)).unwrap();
+    let mut oracle: HashSet<Vec<u8>> = HashSet::new();
+
+    for round in 0..4u64 {
+        // Churn: inserts with a sprinkling of deletes.
+        for i in 0..400 {
+            let k = key("live", round * 10_000 + i);
+            filter.insert(&k).unwrap();
+            oracle.insert(k);
+        }
+        for i in (0..400).step_by(7) {
+            let k = key("live", round * 10_000 + i);
+            if filter.delete(&k) {
+                oracle.remove(&k);
+            }
+        }
+        assert_no_false_negatives(&filter, &oracle, "before rotation");
+
+        assert!(filter.rotate(), "round {round}: rotation should start");
+        let mut steps = 0;
+        while filter.rotation_backlog() > 0 {
+            let did = filter.rotate_step(5);
+            assert!(did <= 5, "rotate_step(5) performed {did} units");
+            assert!(
+                filter.rotation_stats().last_op_units <= 5,
+                "last_op_units exceeds the requested budget"
+            );
+            // The full oracle is found at *every* intermediate step.
+            if steps % 9 == 0 {
+                assert_no_false_negatives(&filter, &oracle, "mid-rotation");
+            }
+            steps += 1;
+            assert!(steps < 1_000_000, "rotation never converged");
+        }
+        assert_eq!(filter.generations() as u64, round + 1);
+        assert_no_false_negatives(&filter, &oracle, "after rotation");
+    }
+
+    // Frozen keys are append-frozen: deleting them misses without
+    // breaking membership.
+    let frozen_key = key("live", 1);
+    assert!(!filter.delete(&frozen_key));
+    assert!(filter.contains(&frozen_key));
+}
+
+#[test]
+fn inserts_amortize_rotation_within_budget() {
+    let mut filter = TieredVcf::new(CuckooConfig::new(1 << 8).with_seed(7)).unwrap();
+    filter.set_rotate_budget(2);
+    let mut oracle: HashSet<Vec<u8>> = HashSet::new();
+
+    for i in 0..600 {
+        let k = key("seed", i);
+        filter.insert(&k).unwrap();
+        oracle.insert(k);
+    }
+    assert!(filter.rotate());
+
+    // Keep inserting while the rotation drains in the background; each
+    // insert performs at most the configured budget of rotation work.
+    let mut i = 0;
+    while filter.rotation_backlog() > 0 {
+        let k = key("during", i);
+        filter.insert(&k).unwrap();
+        oracle.insert(k);
+        assert!(
+            filter.rotation_stats().last_op_units <= 2,
+            "insert advanced rotation beyond its budget"
+        );
+        i += 1;
+        assert!(i < 1_000_000, "amortized rotation never converged");
+    }
+    assert_eq!(filter.generations(), 1);
+    assert_no_false_negatives(&filter, &oracle, "after amortized rotation");
+
+    // The keys inserted mid-rotation landed in the fresh hot tier.
+    assert!(filter.hot().len() > 0);
+}
+
+#[test]
+fn hot_tier_hash_accounting_stays_exact_through_rotations() {
+    let mut filter = TieredVcf::new(CuckooConfig::new(1 << 8).with_seed(3)).unwrap();
+    for i in 0..300 {
+        filter.insert(&key("a", i)).unwrap();
+    }
+    assert!(filter.rotate());
+    // The rotation swapped in a fresh hot tier; measure from here so the
+    // identity covers inserts that interleave with rotation work.
+    filter.reset_stats();
+    let mut i = 0;
+    while filter.rotation_backlog() > 0 {
+        filter.insert(&key("b", i)).unwrap();
+        filter.rotate_step(3);
+        i += 1;
+        assert!(i < 1_000_000);
+    }
+    for j in 0..200 {
+        filter.insert(&key("c", j)).unwrap();
+    }
+    let stats = filter.stats();
+    assert_eq!(
+        stats.hash_computations,
+        2 * stats.inserts.calls + stats.kicks,
+        "rotation work leaked into hot-tier hash accounting: {stats:?}"
+    );
+}
+
+#[test]
+fn batched_lookups_agree_with_serial_across_tiers() {
+    let mut filter = TieredVcf::new(CuckooConfig::new(1 << 8).with_seed(11)).unwrap();
+    for round in 0..3u64 {
+        for i in 0..250 {
+            filter.insert(&key("gen", round * 1000 + i)).unwrap();
+        }
+        assert!(filter.rotate());
+        while filter.rotation_backlog() > 0 {
+            filter.rotate_step(16);
+        }
+    }
+    for i in 0..100 {
+        filter.insert(&key("hot", i)).unwrap();
+    }
+
+    let queries: Vec<Vec<u8>> = (0..3000u64)
+        .map(|i| {
+            if i % 3 == 0 {
+                key("gen", i % 2250)
+            } else if i % 3 == 1 {
+                key("hot", i % 150)
+            } else {
+                key("absent", i)
+            }
+        })
+        .collect();
+    let refs: Vec<&[u8]> = queries.iter().map(Vec::as_slice).collect();
+    let batched = filter.contains_batch(&refs);
+    for (i, q) in refs.iter().enumerate() {
+        assert_eq!(
+            batched[i],
+            filter.contains(q),
+            "batched lookup diverged from serial at probe {i}"
+        );
+    }
+}
+
+#[test]
+fn snapshot_round_trips_a_frozen_generation() {
+    // Freeze a generation, snapshot it through the FUZ1 record, and
+    // check the restored fuse answers identically on live keys.
+    let mut filter = TieredVcf::new(CuckooConfig::new(1 << 8).with_seed(5)).unwrap();
+    let keys: Vec<Vec<u8>> = (0..500).map(|i| key("snap", i)).collect();
+    for k in &keys {
+        filter.insert(k).unwrap();
+    }
+    let canonical: Vec<u64> = keys.iter().map(|k| filter.hot().canonical_key(k)).collect();
+    assert!(filter.rotate());
+    while filter.rotation_backlog() > 0 {
+        filter.rotate_step(64);
+    }
+
+    let fuse = BinaryFuse8::from_keys(&canonical, 99).unwrap();
+    let restored = BinaryFuse8::from_snapshot(&fuse.to_snapshot()).unwrap();
+    for (&k, original) in canonical.iter().zip(keys.iter()) {
+        assert!(
+            restored.contains_key(k),
+            "restored fuse lost {:?}",
+            String::from_utf8_lossy(original)
+        );
+        assert_eq!(restored.contains_key(k), fuse.contains_key(k));
+    }
+}
