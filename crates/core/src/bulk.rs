@@ -211,6 +211,10 @@ fn sweep_and_cleanup<H: BulkHost>(
     n: usize,
 ) -> Vec<Result<(), InsertError>> {
     let buckets = host.bulk_buckets();
+    debug_assert!(
+        partitions.len() == buckets.div_ceil(1 << PART_BUCKETS_LOG2).max(1),
+        "one partition per 2^PART_BUCKETS_LOG2 bucket window"
+    );
     let mut results: Vec<Result<(), InsertError>> = vec![Ok(()); n];
     if n == 0 {
         return results;

@@ -257,6 +257,7 @@ impl ConcurrentVcf {
         let mut sorted = cands.buckets;
         sorted.sort_unstable();
         let mut out = [usize::MAX; 4];
+        debug_assert!(sorted.len() <= out.len(), "at most 4 candidate buckets");
         let mut len = 0;
         for &b in &sorted {
             if len == 0 || out[len - 1] != b {
@@ -276,11 +277,12 @@ impl ConcurrentVcf {
     /// with the `Release` in [`Self::unlock`], the version word brackets
     /// the section for optimistic readers.
     fn lock(&self, bucket: usize) {
+        debug_assert!(bucket < self.versions.len());
         let v = &self.versions[bucket];
         loop {
-            // lint: allow(seqlock-relaxed) — CAS pre-read; the Acquire
-            // success ordering of the compare_exchange below is what
-            // synchronizes, this load only picks the expected value
+            // CAS pre-read (checked structurally by seqlock-protocol):
+            // the compare_exchange's Acquire success ordering is what
+            // synchronizes, this load only picks the expected value.
             let cur = v.load(Ordering::Relaxed);
             if cur & 1 == 0
                 && v.compare_exchange_weak(
@@ -299,6 +301,7 @@ impl ConcurrentVcf {
 
     /// Releases `bucket`'s lock, returning the version to even.
     fn unlock(&self, bucket: usize) {
+        debug_assert!(bucket < self.versions.len());
         self.versions[bucket].fetch_add(1, Ordering::Release);
     }
 
@@ -435,6 +438,7 @@ impl ConcurrentVcf {
     /// (leaving a consistent table) if any move's precondition was
     /// invalidated by a concurrent mutation.
     fn execute_path(&self, path: &[PathStep], final_dst: usize, new_fp: u32) -> bool {
+        debug_assert!(path.iter().all(|step| step.0 < self.versions.len()));
         for i in (0..path.len()).rev() {
             let (src_bucket, src_slot, fp) = path[i];
             let dst_bucket = if i + 1 < path.len() {
@@ -502,6 +506,7 @@ impl ConcurrentVcf {
     fn contains_key(&self, fingerprint: u32, cands: &Candidates) -> bool {
         let (distinct, distinct_len) = Self::distinct_sorted(cands);
         let distinct = &distinct[..distinct_len];
+        debug_assert!(distinct.iter().all(|&b| b < self.versions.len()));
         let slots = self.table.slots_per_bucket() as u64;
 
         let mut before = [0u32; 4];
@@ -528,9 +533,9 @@ impl ConcurrentVcf {
                 && distinct
                     .iter()
                     .enumerate()
-                    // lint: allow(seqlock-relaxed) — validation re-read paired
-                    // with the fence(Acquire) above (Boehm's seqlock pattern);
-                    // the fence orders the data loads before these reads
+                    // Validation re-read paired with the fence(Acquire)
+                    // above (Boehm's seqlock pattern, checked structurally
+                    // by the seqlock-protocol rule).
                     .all(|(i, &bucket)| self.versions[bucket].load(Ordering::Relaxed) == before[i])
             {
                 self.counters.record_lookup(probes, distinct_len as u64);

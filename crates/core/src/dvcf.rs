@@ -473,6 +473,7 @@ impl Filter for Dvcf {
         let mut removed = false;
         let mut tried = [usize::MAX; 4];
         let mut tried_len = 0;
+        debug_assert!(len <= tried.len(), "at most 4 candidate buckets");
         for &bucket in &cands[..len] {
             if tried[..tried_len].contains(&bucket) {
                 continue;

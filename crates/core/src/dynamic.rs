@@ -103,7 +103,9 @@ impl DynamicVcf {
                 .wrapping_add(self.links.len() as u64 * 0x9e37),
             ..self.template
         };
-        let link = VerticalCuckooFilter::new(config).expect("template validated at construction");
+        // The template was validated at construction; re-deriving a
+        // config from it only changes the seed, so this cannot fail.
+        let link = VerticalCuckooFilter::new(config).map_err(|_| InsertError::Full { kicks: 0 })?;
         self.links.push(link);
         Ok(())
     }
@@ -119,14 +121,17 @@ impl Filter for DynamicVcf {
     fn insert(&mut self, item: &[u8]) -> Result<(), InsertError> {
         self.counters.record_insert(0, 1);
         // Newest link is the least loaded; try it first.
-        for index in (0..self.links.len()).rev() {
-            if self.links[index].insert(item).is_ok() {
+        for link in self.links.iter_mut().rev() {
+            if link.insert(item).is_ok() {
                 return Ok(());
             }
         }
         self.grow()
             .inspect_err(|_| self.counters.add_failed_insert())?;
-        let newest = self.links.last_mut().expect("just grew");
+        let Some(newest) = self.links.last_mut() else {
+            // grow() just pushed a link; the chain cannot be empty.
+            return Err(InsertError::Full { kicks: 0 });
+        };
         newest
             .insert(item)
             .inspect_err(|_| self.counters.add_failed_insert())

@@ -185,6 +185,7 @@ impl KVcf {
     /// to `vertical.rs`.
     #[inline]
     fn candidate(&self, b1: usize, hfp: u64, e: usize) -> usize {
+        debug_assert!(e < self.masks.len());
         masked_candidate(b1, hfp, self.masks[e], self.index_mask)
     }
 
@@ -193,6 +194,7 @@ impl KVcf {
     /// coset is proven (and tested) at the definition site.
     #[inline]
     fn relocate(&self, bg: usize, hfp: u64, g: usize, e: usize) -> usize {
+        debug_assert!(g < self.masks.len() && e < self.masks.len());
         masked_relocate(bg, hfp, self.masks[g], self.masks[e], self.index_mask)
     }
 
@@ -252,11 +254,15 @@ impl KVcf {
         let mut bucket_accesses = k as u64;
         for _ in 0..self.max_kicks {
             let slot = self.rng.gen_range(0..slots);
-            let victim = self
-                .table
-                .swap(cur_bucket, slot, cur_entry)
-                .expect("eviction only targets full buckets");
             bucket_accesses += 1;
+            let Some(victim) = self.table.swap(cur_bucket, slot, cur_entry) else {
+                // Eviction targets full buckets, but a slot freed by the
+                // relocation attempts above is fair game: the entry just
+                // landed in it, so the walk is done.
+                self.counters.add_kicks(kicks + 1);
+                self.counters.record_insert(probes, bucket_accesses);
+                return Ok(());
+            };
             self.undo.push((cur_bucket, slot, victim));
             kicks += 1;
 
@@ -318,6 +324,7 @@ impl KVcf {
         use core::cell::Cell;
 
         let k = self.k();
+        debug_assert!(k <= self.masks.len(), "at most 4 candidate masks");
         let slots = self.table.slots_per_bucket();
         let probes = Cell::new(0u64);
         let accesses = Cell::new(0u64);
@@ -356,9 +363,11 @@ impl KVcf {
             |bucket, out| {
                 accesses.set(accesses.get() + 1);
                 for slot in 0..slots {
-                    let victim = table
-                        .get(bucket, slot)
-                        .expect("expansion only visits full buckets");
+                    let Some(victim) = table.get(bucket, slot) else {
+                        // Expansion visits buckets that were full when
+                        // enqueued; a slot freed since has no victim.
+                        continue;
+                    };
                     let victim_hash = hash.hash_fingerprint(victim.fingerprint);
                     counters.add_hashes(1);
                     let g = usize::from(victim.mark);

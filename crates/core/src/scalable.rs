@@ -968,6 +968,7 @@ impl ScalableFilter for ScalableVcf {
 }
 
 impl Filter for ScalableVcf {
+    // lint: hot-path
     /// Insert into the active segment, draining at most
     /// [`migrate_budget`](Self::migrate_budget) cold bucket-ranges first
     /// and growing the chain when the active segment is (nearly) full.
@@ -979,6 +980,7 @@ impl Filter for ScalableVcf {
         self.insert_prehashed(fp, hfp, lows)
     }
 
+    // lint: hot-path
     /// Pipelined insert: hashes a window of items up front, prefetching
     /// each one's candidate buckets in the active segment, then places in
     /// item order through the exact serial path (same PRNG consumption,
@@ -1009,6 +1011,7 @@ impl Filter for ScalableVcf {
         out
     }
 
+    // lint: hot-path
     /// Probes the chain newest-first: an item's four candidate buckets
     /// in each segment (coset lows OR the segment's partition base).
     fn contains(&self, item: &[u8]) -> bool {
@@ -1032,6 +1035,7 @@ impl Filter for ScalableVcf {
         found
     }
 
+    // lint: hot-path
     /// Two-pass batched lookup over the whole chain: hash every item and
     /// early-touch its candidate buckets in *every* segment, then probe
     /// newest-first against warm lines — the fixed-size filter's
@@ -1071,6 +1075,7 @@ impl Filter for ScalableVcf {
         out
     }
 
+    // lint: hot-path
     /// Removes one copy, scanning segments newest-first (mirroring
     /// insert preference) with per-segment bucket deduplication, so
     /// exactly one stored fingerprint is removed per successful call —

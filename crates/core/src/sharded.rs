@@ -140,6 +140,7 @@ impl<F> ShardRouter<F> {
     /// Routes every item, returning each shard's group of input
     /// positions (empty groups for untouched shards).
     fn group_by_shard(&self, items: &[&[u8]]) -> Vec<Vec<usize>> {
+        debug_assert!(self.shard_mask as usize == self.shards.len() - 1);
         let mut groups: Vec<Vec<usize>> = vec![Vec::new(); self.shards.len()];
         for (pos, item) in items.iter().enumerate() {
             groups[self.shard_of(item)].push(pos);
@@ -279,6 +280,7 @@ impl<F: ConcurrentFilter> ShardRouter<F> {
     ///
     /// Panics if a locked shard's lock is poisoned.
     pub fn insert(&self, item: &[u8]) -> Result<(), InsertError> {
+        debug_assert!(self.shard_mask as usize == self.shards.len() - 1);
         self.shards[self.shard_of(item)].insert(item)
     }
 
@@ -292,6 +294,7 @@ impl<F: ConcurrentFilter> ShardRouter<F> {
     ///
     /// Panics if a locked shard's lock is poisoned.
     pub fn insert_batch(&self, items: &[&[u8]]) -> Vec<Result<(), InsertError>> {
+        debug_assert!(self.shard_mask as usize == self.shards.len() - 1);
         let mut out = vec![Ok(()); items.len()];
         for (shard, group) in self.group_by_shard(items).iter().enumerate() {
             if group.is_empty() {
@@ -312,6 +315,7 @@ impl<F: ConcurrentFilter> ShardRouter<F> {
     ///
     /// Panics if a locked shard's lock is poisoned.
     pub fn contains(&self, item: &[u8]) -> bool {
+        debug_assert!(self.shard_mask as usize == self.shards.len() - 1);
         self.shards[self.shard_of(item)].contains(item)
     }
 
@@ -326,6 +330,7 @@ impl<F: ConcurrentFilter> ShardRouter<F> {
     /// Panics if a locked shard's lock is poisoned.
     pub fn contains_batch(&self, items: &[&[u8]]) -> Vec<bool> {
         // Route every item, then one batched probe per non-empty shard.
+        debug_assert!(self.shard_mask as usize == self.shards.len() - 1);
         let mut out = vec![false; items.len()];
         for (shard, group) in self.group_by_shard(items).iter().enumerate() {
             if group.is_empty() {
@@ -346,6 +351,7 @@ impl<F: ConcurrentFilter> ShardRouter<F> {
     ///
     /// Panics if a locked shard's lock is poisoned.
     pub fn delete(&self, item: &[u8]) -> bool {
+        debug_assert!(self.shard_mask as usize == self.shards.len() - 1);
         self.shards[self.shard_of(item)].delete(item)
     }
 

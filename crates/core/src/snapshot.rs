@@ -127,7 +127,9 @@ impl<'a> Reader<'a> {
             .get(self.at..end)
             .ok_or(SnapshotError::Truncated)?;
         self.at = end;
-        Ok(slice.try_into().expect("exact length slice"))
+        // `get(at..end)` returned exactly N bytes, so the conversion
+        // cannot fail; mapping keeps the decode path panic-free.
+        slice.try_into().map_err(|_| SnapshotError::Truncated)
     }
 
     fn u8(&mut self) -> Result<u8, SnapshotError> {
@@ -166,6 +168,7 @@ impl VerticalCuckooFilter {
         out
     }
 
+    // lint: wire-format(decode)
     /// Restores a filter from [`VerticalCuckooFilter::to_snapshot`] bytes.
     ///
     /// # Errors
@@ -258,6 +261,7 @@ impl KVcf {
         out
     }
 
+    // lint: wire-format(decode)
     /// Restores a k-VCF from [`KVcf::to_snapshot`] bytes.
     ///
     /// # Errors
@@ -393,6 +397,7 @@ impl FuseRecord {
         out
     }
 
+    // lint: wire-format(decode)
     /// Restores a record from [`FuseRecord::encode`] bytes.
     ///
     /// # Errors

@@ -170,6 +170,7 @@ impl<G: FrozenSet> TieredFilter<G> {
         if rot.collecting {
             let buckets = rot.source.segment_buckets(rot.segment);
             if buckets == 0 {
+                // lint: allow(panic-reachability) — dyn FrozenBuilder dispatch: the impl lives in vcf-sketches, dependency-inverted above this crate, and its build path is panic-checked by that crate's tests
                 rot.builder.seal();
                 rot.collecting = false;
             } else {
@@ -188,8 +189,10 @@ impl<G: FrozenSet> TieredFilter<G> {
             }
             return true;
         }
+        // lint: allow(panic-reachability) — dyn FrozenBuilder dispatch: the impl lives in vcf-sketches, dependency-inverted above this crate, and its build path is panic-checked by that crate's tests
         let did = rot.builder.step(1);
         self.stats.build_units += did as u64;
+        // lint: allow(panic-reachability) — dyn FrozenBuilder dispatch: the impl lives in vcf-sketches, dependency-inverted above this crate, and its build path is panic-checked by that crate's tests
         if rot.builder.backlog() == 0 {
             if let Some(rot) = self.rotation.take() {
                 self.install(rot);
@@ -251,12 +254,14 @@ impl<G: FrozenSet> TieredFilter<G> {
 }
 
 impl<G: FrozenSet> Filter for TieredFilter<G> {
+    // lint: hot-path
     fn insert(&mut self, item: &[u8]) -> Result<(), InsertError> {
         let result = self.hot.insert(item);
         self.advance(self.rotate_budget);
         result
     }
 
+    // lint: hot-path
     fn insert_batch(&mut self, items: &[&[u8]]) -> Vec<Result<(), InsertError>> {
         let results = self.hot.insert_batch(items);
         self.advance(self.rotate_budget.saturating_mul(items.len()));
@@ -272,6 +277,7 @@ impl<G: FrozenSet> Filter for TieredFilter<G> {
         results
     }
 
+    // lint: hot-path
     fn contains(&self, item: &[u8]) -> bool {
         if self.hot.contains(item) {
             return true;
@@ -288,6 +294,7 @@ impl<G: FrozenSet> Filter for TieredFilter<G> {
         self.frozen.iter().rev().any(|g| g.contains_key(key))
     }
 
+    // lint: hot-path
     fn contains_batch(&self, items: &[&[u8]]) -> Vec<bool> {
         let mut out = self.hot.contains_batch(items);
         if let Some(rot) = &self.rotation {
@@ -333,6 +340,7 @@ impl<G: FrozenSet> Filter for TieredFilter<G> {
         out
     }
 
+    // lint: hot-path
     fn delete(&mut self, item: &[u8]) -> bool {
         self.hot.delete(item)
     }

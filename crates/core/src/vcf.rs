@@ -457,6 +457,7 @@ impl BulkHost for VerticalCuckooFilter {
 }
 
 impl Filter for VerticalCuckooFilter {
+    // lint: hot-path
     /// Algorithm 1 under the configured eviction policy (random walk
     /// with rollback-on-failure by default, BFS path search with
     /// [`EvictionPolicy::Bfs`]).
@@ -468,6 +469,7 @@ impl Filter for VerticalCuckooFilter {
         self.insert_prehashed(fingerprint, cands)
     }
 
+    // lint: hot-path
     /// Pipelined Algorithm 1: hashes a window of items up front, issuing
     /// a software prefetch for every candidate bucket as each key is
     /// derived, then places fingerprints against warm cache lines.
@@ -498,6 +500,7 @@ impl Filter for VerticalCuckooFilter {
         out
     }
 
+    // lint: hot-path
     /// Sort-by-bucket bulk construction (see [`crate::bulk`]): hash all
     /// items, counting-sort by candidate bucket round by round, sweep
     /// the table in order with first-fit placement, then run the
@@ -509,6 +512,7 @@ impl Filter for VerticalCuckooFilter {
         bulk::build_from_iter(self, items)
     }
 
+    // lint: hot-path
     /// Algorithm 2 — probes all four candidate entries (duplicates
     /// included, matching the paper's constant-time lookup behaviour).
     fn contains(&self, item: &[u8]) -> bool {
@@ -528,6 +532,7 @@ impl Filter for VerticalCuckooFilter {
         found
     }
 
+    // lint: hot-path
     /// Batched Algorithm 2: hashes every item up front, touching each
     /// item's primary bucket as its key is produced, then probes the four
     /// candidates per item in a second pass. Hashing and the early bucket
@@ -561,6 +566,7 @@ impl Filter for VerticalCuckooFilter {
         out
     }
 
+    // lint: hot-path
     /// Algorithm 3.
     fn delete(&mut self, item: &[u8]) -> bool {
         let (fingerprint, b1) = self.key_of(item);

@@ -63,6 +63,18 @@ fn fmix32(mut h: u32) -> u32 {
 const C1_64: u64 = 0x87c3_7b91_1142_53d5;
 const C2_64: u64 = 0x4cf5_ad43_2745_937f;
 
+/// Little-endian `u64` from up to 8 bytes, zero-padded. The zip bounds
+/// both sides, so the load is panic-free; LLVM folds the 8-byte case to
+/// a single unaligned load.
+#[inline]
+fn le_u64(bytes: &[u8]) -> u64 {
+    let mut word = [0u8; 8];
+    for (dst, &src) in word.iter_mut().zip(bytes) {
+        *dst = src;
+    }
+    u64::from_le_bytes(word)
+}
+
 /// MurmurHash3 x64 128-bit. Returns `(h1, h2)`, the two 64-bit halves in
 /// the order the reference implementation emits them.
 ///
@@ -79,8 +91,8 @@ pub fn murmur3_x64_128(data: &[u8], seed: u64) -> (u64, u64) {
 
     let mut chunks = data.chunks_exact(16);
     for chunk in &mut chunks {
-        let mut k1 = u64::from_le_bytes(chunk[0..8].try_into().expect("8-byte block"));
-        let mut k2 = u64::from_le_bytes(chunk[8..16].try_into().expect("8-byte block"));
+        let mut k1 = le_u64(&chunk[0..8]);
+        let mut k2 = le_u64(&chunk[8..16]);
 
         k1 = k1.wrapping_mul(C1_64);
         k1 = k1.rotate_left(31);

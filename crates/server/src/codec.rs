@@ -171,6 +171,7 @@ impl<R: Read> FrameReader<R> {
         }
     }
 
+    // lint: hot-path
     /// Reads the next frame.
     ///
     /// # Errors
@@ -225,6 +226,7 @@ fn read_exact_or_closed<R: Read>(reader: &mut R, buf: &mut [u8]) -> io::Result<b
     Ok(true)
 }
 
+// lint: hot-path
 /// Appends a complete request frame (header + keys) to `buf`.
 pub fn encode_request(buf: &mut Vec<u8>, opcode: OpCode, keys: &[u64]) {
     let header = RequestHeader {
@@ -237,6 +239,7 @@ pub fn encode_request(buf: &mut Vec<u8>, opcode: OpCode, keys: &[u64]) {
     }
 }
 
+// lint: hot-path
 /// Appends a complete response frame to `buf`.
 pub fn encode_response(buf: &mut Vec<u8>, status_code: u8, count: u32, payload: &[u8]) {
     let header = ResponseHeader {

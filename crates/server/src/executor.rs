@@ -174,6 +174,7 @@ impl ShardExecutor {
         }
     }
 
+    // lint: hot-path
     /// Executes one data frame: routes `payload` (concatenated 8-byte
     /// keys) to the owning workers, blocks for their replies, and sets
     /// the per-key outcome bits in `bitmap` (which the caller supplies

@@ -44,6 +44,7 @@ pub const MAX_BATCH: u32 = 1 << 16;
 /// Number of `u64` words in a stats reply payload.
 pub const STATS_WORDS: usize = 8;
 
+// lint: wire-format
 /// Request opcodes.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 #[repr(u8)]
@@ -92,6 +93,7 @@ impl OpCode {
     }
 }
 
+// lint: wire-format
 /// Why a request frame was rejected.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum WireError {
@@ -229,6 +231,7 @@ impl RequestHeader {
         out
     }
 
+    // lint: hot-path
     /// Decodes and validates an 8-byte header.
     ///
     /// # Errors
@@ -295,6 +298,7 @@ impl ResponseHeader {
         out
     }
 
+    // lint: hot-path
     /// Decodes an 8-byte response header (client side).
     ///
     /// # Errors

@@ -337,9 +337,15 @@ fn serve_frames<R: Read, W: Write>(
                         metrics.record_control_frame();
                         match opcode {
                             OpCode::Ping => encode_response(&mut resp, status::OK, 0, &[]),
-                            _ => {
+                            OpCode::Stats => {
                                 let stats = stats_payload(executor, metrics);
                                 encode_response(&mut resp, status::OK, STATS_WORDS as u32, &stats);
+                            }
+                            // Data opcodes were dispatched via
+                            // `batch_kind()` above; reaching one here is
+                            // a dispatch bug, answered as internal.
+                            OpCode::Insert | OpCode::Lookup | OpCode::Delete => {
+                                encode_response(&mut resp, status::INTERNAL, 0, &[]);
                             }
                         }
                     }

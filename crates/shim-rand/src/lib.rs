@@ -56,8 +56,13 @@ pub trait SampleRange<T> {
 
 impl<T: SampleUniform> SampleRange<T> for Range<T> {
     fn sample<R: Rng + ?Sized>(self, rng: &mut R) -> T {
-        assert!(self.start < self.end, "cannot sample empty range");
+        debug_assert!(self.start < self.end, "cannot sample empty range");
         let span = T::span(self.start, self.end);
+        if span == 0 {
+            // Degenerate range (debug-asserted above): clamp to start
+            // rather than divide by zero in release builds.
+            return self.start;
+        }
         T::offset(self.start, rng.next_u64() % span)
     }
 }
@@ -65,7 +70,7 @@ impl<T: SampleUniform> SampleRange<T> for Range<T> {
 impl<T: SampleUniform> SampleRange<T> for RangeInclusive<T> {
     fn sample<R: Rng + ?Sized>(self, rng: &mut R) -> T {
         let (lo, hi) = self.into_inner();
-        assert!(lo <= hi, "cannot sample empty range");
+        debug_assert!(lo <= hi, "cannot sample empty range");
         let span = T::span(lo, hi);
         if span == u64::MAX {
             return T::offset(lo, rng.next_u64());

@@ -123,6 +123,7 @@ impl VerticalBloomFilter {
     /// Inserts `item` (never fails; Bloom filters cannot fill up).
     pub fn insert(&mut self, item: &[u8]) {
         let positions: Vec<usize> = self.positions(item).collect();
+        debug_assert!(positions.iter().all(|&p| p / 64 < self.words.len()));
         for position in positions {
             self.words[position / 64] |= 1u64 << (position % 64);
         }

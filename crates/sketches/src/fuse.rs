@@ -242,6 +242,7 @@ impl<L: FuseLane> BinaryFuse<L> {
         builder.finish()
     }
 
+    // lint: hot-path
     /// Membership test. No false negatives for staged keys; false
     /// positives at ≈ `2^-L::BITS`.
     #[inline]
@@ -259,6 +260,7 @@ impl<L: FuseLane> BinaryFuse<L> {
         fp == self.lanes[h0].xor(self.lanes[h1]).xor(self.lanes[h2])
     }
 
+    // lint: hot-path
     /// Batched membership: one answer per key, in order. Two-pass —
     /// hash every key and resolve its three positions first, then probe
     /// — so the position arithmetic of key *i+1* overlaps the lane

@@ -399,9 +399,10 @@ impl AtomicFingerprintTable {
     ///
     /// # Panics
     ///
-    /// Panics if `fingerprint` is zero (the empty sentinel).
+    /// Debug builds panic if `fingerprint` is zero (the empty sentinel);
+    /// fingerprint derivation remaps 0 before it reaches the table.
     pub fn try_claim(&self, bucket: usize, fingerprint: u32) -> Option<usize> {
-        assert!(fingerprint != 0, "fingerprint 0 is the empty sentinel");
+        debug_assert!(fingerprint != 0, "fingerprint 0 is the empty sentinel");
         let slot = self
             .engine
             .try_claim(&self.words, bucket, u64::from(fingerprint))?;
@@ -415,11 +416,12 @@ impl AtomicFingerprintTable {
     ///
     /// # Panics
     ///
-    /// Panics if `expected` is zero — claiming empty slots must go through
-    /// [`try_claim`](AtomicFingerprintTable::try_claim) so occupancy stays
-    /// first-empty-slot consistent.
+    /// Debug builds panic if `expected` is zero — claiming empty slots
+    /// must go through
+    /// [`try_claim`](AtomicFingerprintTable::try_claim) so occupancy
+    /// stays first-empty-slot consistent.
     pub fn replace_expect(&self, bucket: usize, slot: usize, expected: u32, new: u32) -> bool {
-        assert!(expected != 0, "claim empty slots via try_claim");
+        debug_assert!(expected != 0, "claim empty slots via try_claim");
         if !self.engine.replace_expect(
             &self.words,
             bucket,

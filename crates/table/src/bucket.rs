@@ -260,8 +260,9 @@ impl BucketEngine {
     pub fn storage_words(&self, buckets: usize) -> usize {
         buckets
             .checked_mul(self.words_per_bucket)
-            // lint: allow(no-panic-hot-path) — construction-time sizing, not
-            // a query path; overflow is documented under `# Panics`
+            // lint: allow(panic-reachability) — construction-time sizing
+            // (reachable from hot paths only through segment growth's
+            // table allocation); overflow is documented under `# Panics`
             .expect("bucket storage size overflows usize")
     }
 

@@ -178,10 +178,12 @@ impl FingerprintTable {
     ///
     /// # Panics
     ///
-    /// Panics if the fingerprint does not fit in `f` bits or the position
-    /// is out of range.
+    /// Debug builds panic if the fingerprint does not fit in `f` bits or
+    /// the position is out of range; release builds truncate (callers
+    /// derive fingerprints through [`Self::fingerprint_of`]-style
+    /// masking, so an oversized value is an internal bug, not input).
     pub fn set(&mut self, bucket: usize, slot: usize, fingerprint: u32) {
-        assert!(
+        debug_assert!(
             u64::from(fingerprint) <= self.engine.lane_mask(),
             "fingerprint {fingerprint:#x} exceeds {} bits",
             self.engine.width()
@@ -201,9 +203,10 @@ impl FingerprintTable {
     ///
     /// # Panics
     ///
-    /// Panics if `fingerprint` is zero (the empty sentinel).
+    /// Debug builds panic if `fingerprint` is zero (the empty sentinel);
+    /// fingerprint derivation remaps 0 before it reaches the table.
     pub fn try_insert(&mut self, bucket: usize, fingerprint: u32) -> Option<usize> {
-        assert!(fingerprint != 0, "fingerprint 0 is the empty sentinel");
+        debug_assert!(fingerprint != 0, "fingerprint 0 is the empty sentinel");
         let slot = self.engine.probe_first_empty(&self.words, bucket)?;
         self.engine
             .set_slot(&mut self.words, bucket, slot, u64::from(fingerprint));
@@ -219,9 +222,10 @@ impl FingerprintTable {
     ///
     /// # Panics
     ///
-    /// Panics if any fingerprint is zero (the empty sentinel).
+    /// Debug builds panic if any fingerprint is zero (the empty
+    /// sentinel); fingerprint derivation remaps 0 before the table.
     pub fn fill(&mut self, bucket: usize, fingerprints: &[u64]) -> usize {
-        assert!(
+        debug_assert!(
             fingerprints.iter().all(|&fp| fp != 0),
             "fingerprint 0 is the empty sentinel"
         );
@@ -301,9 +305,10 @@ impl FingerprintTable {
     ///
     /// # Panics
     ///
-    /// Panics if `fingerprint` is zero.
+    /// Debug builds panic if `fingerprint` is zero; fingerprint
+    /// derivation remaps 0 before it reaches the table.
     pub fn swap(&mut self, bucket: usize, slot: usize, fingerprint: u32) -> u32 {
-        assert!(fingerprint != 0, "fingerprint 0 is the empty sentinel");
+        debug_assert!(fingerprint != 0, "fingerprint 0 is the empty sentinel");
         let old = self.engine.get_slot(&self.words, bucket, slot) as u32;
         self.engine
             .set_slot(&mut self.words, bucket, slot, u64::from(fingerprint));

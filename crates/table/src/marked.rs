@@ -232,14 +232,15 @@ impl MarkedTable {
     ///
     /// # Panics
     ///
-    /// Panics if the entry's fingerprint is zero or its mark does not fit
-    /// in the mark field.
+    /// Debug builds panic if the entry's fingerprint is zero or its mark
+    /// does not fit in the mark field; both are derived quantities the
+    /// k-VCF remaps/bounds before they reach the table.
     pub fn try_insert(&mut self, bucket: usize, entry: MarkedEntry) -> Option<usize> {
-        assert!(
+        debug_assert!(
             entry.fingerprint != 0,
             "fingerprint 0 is the empty sentinel"
         );
-        assert!(
+        debug_assert!(
             u32::from(entry.mark) < (1 << self.mark_bits),
             "mark {} does not fit in {} bits",
             entry.mark,
@@ -261,17 +262,18 @@ impl MarkedTable {
     ///
     /// # Panics
     ///
-    /// Panics if any entry's fingerprint is zero or its mark does not
-    /// fit in the mark field.
+    /// Debug builds panic if any entry's fingerprint is zero or its mark
+    /// does not fit in the mark field; both are derived quantities the
+    /// k-VCF remaps/bounds before they reach the table.
     pub fn fill(&mut self, bucket: usize, entries: &[MarkedEntry]) -> usize {
         let take = entries.len().min(MAX_BUCKET_SLOTS);
         let mut encoded = [0u64; MAX_BUCKET_SLOTS];
         for (out, &entry) in encoded.iter_mut().zip(&entries[..take]) {
-            assert!(
+            debug_assert!(
                 entry.fingerprint != 0,
                 "fingerprint 0 is the empty sentinel"
             );
-            assert!(
+            debug_assert!(
                 u32::from(entry.mark) < (1 << self.mark_bits),
                 "mark {} does not fit in {} bits",
                 entry.mark,
@@ -359,7 +361,7 @@ impl MarkedTable {
     /// k-VCF eviction loop, which must read the victim's mark to apply
     /// Equ. 7.
     pub fn swap(&mut self, bucket: usize, slot: usize, entry: MarkedEntry) -> Option<MarkedEntry> {
-        assert!(
+        debug_assert!(
             entry.fingerprint != 0,
             "fingerprint 0 is the empty sentinel"
         );

@@ -109,67 +109,87 @@ pub trait ConcurrentFilter: Send + Sync {
 /// the baseline the fine-grained implementations are measured against,
 /// and what `ShardedVcf` wraps per shard.
 ///
-/// # Panics
-///
-/// All methods panic if the lock is poisoned (a writer thread panicked).
+/// Lock poisoning is recovered from rather than propagated: an
+/// approximate filter left mid-mutation by a panicking writer can at
+/// worst misreport membership, which is within the structure's error
+/// contract, and a query path that panics on someone else's panic
+/// would take the whole service down with it.
 impl<F: Filter + Send + Sync> ConcurrentFilter for RwLock<F> {
     fn insert(&self, item: &[u8]) -> Result<(), InsertError> {
-        self.write().expect("filter lock poisoned").insert(item)
+        self.write()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .insert(item)
     }
 
     fn insert_batch(&self, items: &[&[u8]]) -> Vec<Result<(), InsertError>> {
         // One lock acquisition for the whole batch, and the sequential
         // filter's own pipelined (prefetching) batch insert underneath.
         self.write()
-            .expect("filter lock poisoned")
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
             .insert_batch(items)
     }
 
     fn contains(&self, item: &[u8]) -> bool {
-        self.read().expect("filter lock poisoned").contains(item)
+        self.read()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .contains(item)
     }
 
     fn contains_batch(&self, items: &[&[u8]]) -> Vec<bool> {
         // One lock acquisition for the whole batch.
         self.read()
-            .expect("filter lock poisoned")
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
             .contains_batch(items)
     }
 
     fn delete(&self, item: &[u8]) -> bool {
-        self.write().expect("filter lock poisoned").delete(item)
+        self.write()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .delete(item)
     }
 
     fn delete_batch(&self, items: &[&[u8]]) -> Vec<bool> {
         // One lock acquisition for the whole batch.
-        let mut filter = self.write().expect("filter lock poisoned");
+        let mut filter = self
+            .write()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
         items.iter().map(|item| filter.delete(item)).collect()
     }
 
     fn len(&self) -> usize {
-        self.read().expect("filter lock poisoned").len()
+        self.read()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .len()
     }
 
     fn capacity(&self) -> usize {
-        self.read().expect("filter lock poisoned").capacity()
+        self.read()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .capacity()
     }
 
     fn supports_deletion(&self) -> bool {
         self.read()
-            .expect("filter lock poisoned")
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
             .supports_deletion()
     }
 
     fn stats(&self) -> Stats {
-        self.read().expect("filter lock poisoned").stats()
+        self.read()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .stats()
     }
 
     fn reset_stats(&self) {
-        self.write().expect("filter lock poisoned").reset_stats();
+        self.write()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .reset_stats();
     }
 
     fn name(&self) -> String {
-        self.read().expect("filter lock poisoned").name()
+        self.read()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .name()
     }
 }
 

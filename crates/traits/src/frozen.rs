@@ -42,6 +42,9 @@ pub trait FrozenSet: Sized {
     /// override with a two-pass early-touch pipeline so lane loads
     /// overlap instead of serialising on cache misses.
     fn contains_keys(&self, keys: &[u64]) -> Vec<bool> {
+        // lint: allow(panic-reachability) — dispatch to an implementor of
+        // this very trait; impls live above this crate (vcf-sketches) and
+        // their lookup paths carry their own hot-path annotations
         keys.iter().map(|&k| self.contains_key(k)).collect()
     }
 

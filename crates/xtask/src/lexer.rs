@@ -50,7 +50,9 @@ pub struct Token {
     pub end: usize,
     /// 1-based line of the first byte.
     pub line: u32,
-    /// 1-based byte column of the first byte.
+    /// 1-based *character* (Unicode scalar) column of the first byte —
+    /// what editors and SARIF's `unicodeCodePoints` column kind expect,
+    /// so a multi-byte string on the line cannot skew later columns.
     pub col: u32,
 }
 
@@ -90,7 +92,10 @@ fn raw_string_end(b: &[u8], open_quote: usize, hashes: usize) -> usize {
 pub fn lex(src: &str) -> Vec<Token> {
     let b = src.as_bytes();
     let mut tokens = Vec::new();
-    let mut i = 0usize;
+    // A UTF-8 byte-order mark would otherwise glue onto the first
+    // identifier (BOM bytes are ≥ 0x80, which `is_ident_start` accepts
+    // for multi-byte idents) and break keyword matching on token 0.
+    let mut i = if src.starts_with('\u{feff}') { 3 } else { 0 };
     let mut line = 1u32;
     let mut col = 1u32;
 
@@ -180,7 +185,10 @@ fn advance(b: &[u8], from: usize, to: usize, line: &mut u32, col: &mut u32) {
         if c == b'\n' {
             *line += 1;
             *col = 1;
-        } else {
+        } else if c & 0xC0 != 0x80 {
+            // UTF-8 continuation bytes don't advance the column: `col`
+            // counts characters, so multi-byte text in strings or
+            // comments cannot skew the columns of later tokens.
             *col += 1;
         }
     }
@@ -377,5 +385,59 @@ mod tests {
         assert_eq!(toks[1].0, TokenKind::CharLit);
         assert_eq!(toks[2].0, TokenKind::Str);
         assert_eq!(toks[3].0, TokenKind::Str);
+    }
+
+    #[test]
+    fn leading_bom_is_skipped() {
+        let toks = kinds("\u{feff}fn main() {}");
+        assert_eq!(toks[0], (TokenKind::Ident, "fn".to_owned()));
+        // The BOM also doesn't occupy a column.
+        assert_eq!(lex("\u{feff}fn main() {}")[0].col, 1);
+    }
+
+    #[test]
+    fn columns_count_chars_not_bytes() {
+        // "héllo" is 6 bytes but 5 chars; the token after it must sit
+        // at the visual column an editor (or SARIF consumer) expects.
+        let src = "let s = \"héllo\"; x";
+        let toks = lex(src);
+        let x = toks.last().unwrap();
+        assert_eq!(x.text(src), "x");
+        assert_eq!(x.col, 18);
+    }
+
+    #[test]
+    fn crlf_line_endings_track_lines() {
+        let src = "ab\r\ncd\r\nef";
+        let toks = lex(src);
+        assert_eq!((toks[1].line, toks[1].col), (2, 1));
+        assert_eq!((toks[2].line, toks[2].col), (3, 1));
+    }
+
+    #[test]
+    fn unterminated_raw_string_consumes_to_eof() {
+        // Must not panic or loop; everything after the opener is Str.
+        let toks = kinds("let s = r##\"never closed");
+        assert_eq!(toks.last().unwrap().0, TokenKind::Str);
+        let toks = kinds("let r_alone = r");
+        assert_eq!(toks.last().unwrap(), &(TokenKind::Ident, "r".to_owned()));
+    }
+
+    #[test]
+    fn byte_string_with_escaped_quote_does_not_leak() {
+        let toks = kinds(r#"f(b"a\"b") ^ x"#);
+        let idents: Vec<&str> = toks
+            .iter()
+            .filter(|(k, _)| *k == TokenKind::Ident)
+            .map(|(_, t)| t.as_str())
+            .collect();
+        assert_eq!(idents, ["f", "x"]);
+    }
+
+    #[test]
+    fn unterminated_nested_block_comment_consumes_to_eof() {
+        let toks = kinds("a /* outer /* inner */ not closed");
+        assert_eq!(toks.len(), 2);
+        assert_eq!(toks[1].0, TokenKind::BlockComment);
     }
 }

@@ -14,12 +14,17 @@
 
 #![forbid(unsafe_code)]
 
+pub mod bench_check;
+pub mod callgraph;
 pub mod diag;
 pub mod json;
 pub mod lexer;
+pub mod parser;
 pub mod rules;
+pub mod sarif;
 pub mod source;
 
+use callgraph::Analysis;
 use diag::Diagnostic;
 use source::SourceFile;
 use std::fs;
@@ -45,6 +50,8 @@ pub struct LintContext {
     pub files: Vec<SourceFile>,
     /// The TSan suppressions file (relative path, contents), if present.
     pub suppressions: Option<(String, String)>,
+    /// The semantic front-end: parsed items + resolved call graph.
+    pub analysis: Analysis,
 }
 
 impl LintContext {
@@ -84,20 +91,24 @@ impl LintContext {
         let suppressions = fs::read_to_string(root.join(SUPPRESSIONS_REL))
             .ok()
             .map(|c| (SUPPRESSIONS_REL.to_owned(), c));
+        let analysis = Analysis::build(&files, Some(root));
         Ok(Self {
             root: root.to_path_buf(),
             files,
             suppressions,
+            analysis,
         })
     }
 
     /// Builds a context from in-memory files — the fixture tests' entry
     /// point.
     pub fn from_memory(files: Vec<SourceFile>) -> Self {
+        let analysis = Analysis::build(&files, None);
         Self {
             root: PathBuf::new(),
             files,
             suppressions: None,
+            analysis,
         }
     }
 

@@ -1,16 +1,18 @@
 //! CLI for the workspace invariant linter.
 //!
 //! ```text
-//! vcf-xtask lint [--json] [--root PATH] [--rule ID]
+//! vcf-xtask lint [--format text|json|sarif] [--root PATH] [--rule ID]
 //! vcf-xtask rules
+//! vcf-xtask bench-check [--root PATH]
 //! ```
 //!
-//! Exit codes: 0 clean, 1 violations found, 2 usage or I/O error.
+//! `--json` is kept as an alias for `--format json`. Exit codes: 0
+//! clean, 1 violations found, 2 usage or I/O error.
 
 #![forbid(unsafe_code)]
 
 use std::path::PathBuf;
-use vcf_xtask::{diag, rules, LintContext};
+use vcf_xtask::{bench_check, diag, rules, sarif, LintContext};
 
 fn main() {
     std::process::exit(real_main());
@@ -24,6 +26,7 @@ fn real_main() -> i32 {
             list_rules();
             0
         }
+        Some("bench-check") => bench_check_cmd(&args[1..]),
         _ => {
             eprintln!("{USAGE}");
             2
@@ -32,16 +35,33 @@ fn real_main() -> i32 {
 }
 
 const USAGE: &str =
-    "usage: vcf-xtask lint [--json] [--root PATH] [--rule ID]\n       vcf-xtask rules";
+    "usage: vcf-xtask lint [--format text|json|sarif] [--root PATH] [--rule ID]\n       \
+     vcf-xtask rules\n       vcf-xtask bench-check [--root PATH]";
+
+/// Output formats for `lint`.
+enum Format {
+    Text,
+    Json,
+    Sarif,
+}
 
 fn lint(args: &[String]) -> i32 {
-    let mut json = false;
+    let mut format = Format::Text;
     let mut root: Option<PathBuf> = None;
     let mut rule: Option<String> = None;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
-            "--json" => json = true,
+            "--json" => format = Format::Json,
+            "--format" => match it.next().map(String::as_str) {
+                Some("text") => format = Format::Text,
+                Some("json") => format = Format::Json,
+                Some("sarif") => format = Format::Sarif,
+                Some(other) => {
+                    return usage_error(&format!("unknown format `{other}` (text, json, or sarif)"))
+                }
+                None => return usage_error("--format needs a value (text, json, or sarif)"),
+            },
             "--root" => match it.next() {
                 Some(p) => root = Some(PathBuf::from(p)),
                 None => return usage_error("--root needs a path"),
@@ -72,25 +92,60 @@ fn lint(args: &[String]) -> i32 {
         }
     };
     let rule_ids: Vec<&str> = rules::all_rules().iter().map(|r| r.id()).collect();
-    if json {
-        print!("{}", diag::report_json(&diags, ctx.files.len(), &rule_ids));
-    } else if diags.is_empty() {
-        println!(
-            "lint clean: {} files checked against {} rules",
-            ctx.files.len(),
-            rule_ids.len()
-        );
-    } else {
-        for d in &diags {
-            println!("{}", d.render_text());
+    match format {
+        Format::Json => print!("{}", diag::report_json(&diags, ctx.files.len(), &rule_ids)),
+        Format::Sarif => print!("{}", sarif::report(&diags)),
+        Format::Text if diags.is_empty() => {
+            println!(
+                "lint clean: {} files checked against {} rules",
+                ctx.files.len(),
+                rule_ids.len()
+            );
         }
-        println!(
-            "\n{} violation(s) across {} files",
-            diags.len(),
-            ctx.files.len()
-        );
+        Format::Text => {
+            for d in &diags {
+                println!("{}", d.render_text());
+            }
+            println!(
+                "\n{} violation(s) across {} files",
+                diags.len(),
+                ctx.files.len()
+            );
+        }
     }
     i32::from(!diags.is_empty())
+}
+
+fn bench_check_cmd(args: &[String]) -> i32 {
+    let mut root: Option<PathBuf> = None;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--root" => match it.next() {
+                Some(p) => root = Some(PathBuf::from(p)),
+                None => return usage_error("--root needs a path"),
+            },
+            other => return usage_error(&format!("unknown argument `{other}`")),
+        }
+    }
+    let Some(root) = root.or_else(find_workspace_root) else {
+        eprintln!("error: not inside a workspace (no Cargo.toml + crates/ found); use --root");
+        return 2;
+    };
+    let problems = bench_check::run(&root);
+    if problems.is_empty() {
+        println!(
+            "bench-check clean: {} baseline file(s) validated",
+            bench_check::SCHEMAS.len()
+        );
+        0
+    } else {
+        for p in &problems {
+            println!("{p}");
+        }
+        println!("\n{} problem(s)", problems.len());
+        1
+    }
 }
 
 fn usage_error(msg: &str) -> i32 {

@@ -1,15 +1,13 @@
-//! `atomic-ordering` and `seqlock-relaxed`: memory-ordering discipline.
+//! `atomic-ordering`: memory-ordering confinement.
 //!
 //! Atomics are easy to sprinkle and hard to review. The workspace
-//! therefore confines explicit `Ordering::*` arguments to the three
-//! modules that own the concurrency story ([`super::ATOMIC_MODULES`]);
-//! everything else uses those modules' APIs. Within the seqlock module
-//! itself, `Relaxed` loads are the classic correctness trap (a version
-//! word read with `Relaxed` and no fence can observe torn data), so
-//! each one must carry a waiver naming the fence or ordering that makes
-//! it sound.
+//! therefore confines explicit `Ordering::*` arguments to the modules
+//! that own the concurrency story ([`super::ATOMIC_MODULES`]);
+//! everything else uses those modules' APIs. The seqlock module's
+//! internal discipline is checked structurally by the
+//! [`super::seqlock::SeqlockProtocol`] rule.
 
-use super::{is_crate_src, Rule, ATOMIC_MODULES, SEQLOCK_MODULES};
+use super::{is_crate_src, Rule, ATOMIC_MODULES};
 use crate::diag::Diagnostic;
 use crate::source::SourceFile;
 
@@ -59,52 +57,6 @@ impl Rule for AtomicOrdering {
                     "use the APIs in {} instead, or extend the allowlist in rules/mod.rs + DESIGN.md \u{a7}9",
                     ATOMIC_MODULES.join(", ")
                 ),
-            });
-        }
-    }
-}
-
-/// Flags `.load(Ordering::Relaxed)` inside the seqlock module: sound
-/// uses exist (fence-paired validation reads, CAS pre-reads) but each
-/// must carry a waiver citing its justification.
-pub struct SeqlockRelaxed;
-
-impl Rule for SeqlockRelaxed {
-    fn id(&self) -> &'static str {
-        "seqlock-relaxed"
-    }
-
-    fn summary(&self) -> &'static str {
-        "Relaxed loads in seqlock modules carry a waiver naming the pairing fence/ordering"
-    }
-
-    fn check_file(&self, file: &SourceFile, out: &mut Vec<Diagnostic>) {
-        if !SEQLOCK_MODULES.contains(&file.rel.as_str()) {
-            return;
-        }
-        for k in 0..file.code.len().saturating_sub(5) {
-            if file.code_tok(k) != "load"
-                || file.code_tok(k + 1) != "("
-                || file.code_tok(k + 2) != "Ordering"
-                || file.code_tok(k + 3) != ":"
-                || file.code_tok(k + 4) != ":"
-                || file.code_tok(k + 5) != "Relaxed"
-            {
-                continue;
-            }
-            let tok = file.tokens[file.code[k]];
-            if file.is_test_line(tok.line) {
-                continue;
-            }
-            out.push(Diagnostic {
-                rule: self.id(),
-                file: file.rel.clone(),
-                line: tok.line,
-                col: tok.col,
-                message: "`.load(Ordering::Relaxed)` in a seqlock module".to_owned(),
-                hint: "version-word loads want Acquire; if this Relaxed read is fence-paired, \
-                       waive it: `// lint: allow(seqlock-relaxed) \u{2014} <which fence/ordering pairs it>`"
-                    .to_owned(),
             });
         }
     }

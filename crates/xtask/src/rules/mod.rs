@@ -10,11 +10,13 @@
 pub mod atomics;
 pub mod crate_attrs;
 pub mod docs;
-pub mod hotpath;
+pub mod panic_reach;
 pub mod safety;
+pub mod seqlock;
 pub mod simd;
 pub mod suppressions;
 pub mod theorem1;
+pub mod wire;
 
 use crate::diag::Diagnostic;
 use crate::source::SourceFile;
@@ -33,27 +35,6 @@ pub const ATOMIC_MODULES: &[&str] = &[
 /// Modules holding seqlock version words, where `Relaxed` loads need a
 /// written justification.
 pub const SEQLOCK_MODULES: &[&str] = &["crates/core/src/concurrent.rs"];
-
-/// Hot-path modules: no `unwrap`/`expect`/`panic!`-family macros, and
-/// raw indexing only with a literal index, a range, or a
-/// `debug_assert` in the enclosing function.
-pub const HOT_PATH_MODULES: &[&str] = &[
-    "crates/table/src/bucket.rs",
-    "crates/table/src/fingerprint.rs",
-    "crates/core/src/vcf.rs",
-    "crates/core/src/evict.rs",
-    "crates/core/src/scalable.rs",
-    // The wire server's decode/dispatch path: hostile bytes and full
-    // request floods must never be able to abort the process.
-    "crates/server/src/protocol.rs",
-    "crates/server/src/codec.rs",
-    "crates/server/src/executor.rs",
-    // The frozen tier's query path and the tiered façade's lookups:
-    // `contains`/`contains_batch` fan across every generation on the
-    // request path, so a panic here aborts reads, not just writes.
-    "crates/sketches/src/fuse.rs",
-    "crates/core/src/tiered.rs",
-];
 
 /// The only directory allowed to contain `#[target_feature]`-gated SIMD
 /// code; the safe `KernelKind` dispatch wrappers live at its root.
@@ -93,8 +74,9 @@ pub fn all_rules() -> Vec<Box<dyn Rule>> {
     vec![
         Box::new(safety::SafetyComment),
         Box::new(atomics::AtomicOrdering),
-        Box::new(atomics::SeqlockRelaxed),
-        Box::new(hotpath::NoPanicHotPath),
+        Box::new(seqlock::SeqlockProtocol),
+        Box::new(panic_reach::PanicReachability),
+        Box::new(wire::FormatExhaustiveness),
         Box::new(theorem1::TheoremOneConfinement),
         Box::new(docs::MissingDocsPublic),
         Box::new(crate_attrs::CrateUnsafeAttr),

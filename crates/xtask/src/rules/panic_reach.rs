@@ -1,0 +1,232 @@
+//! `panic-reachability`: hot paths must not be able to *reach* a panic.
+//!
+//! v1's `no-panic-hot-path` scanned an allowlist of files for direct
+//! panicky tokens — a hot-path function calling a helper in another
+//! module that indexes a slice passed the lint. v2 replaces the file
+//! allowlist with `// lint: hot-path` annotations on the functions
+//! themselves and propagates **transitively** over the workspace call
+//! graph: every function reachable from a hot root is scanned for
+//! panicky sinks, and every finding carries the call chain that
+//! reaches it.
+//!
+//! Sinks: `.unwrap()` / `.expect(…)`, the panic macro family
+//! (`panic!` / `unreachable!` / `todo!` / `unimplemented!`), release
+//! asserts (`assert!` / `assert_eq!` / `assert_ne!` — `debug_assert*`
+//! is the sanctioned idiom and exempt), and raw `[]` indexing with a
+//! dynamic index. Indexing is dispensed when the index is a literal,
+//! a range, or the enclosing fn carries a `debug_assert!` (the
+//! SWAR-kernel idiom: assert the bound in debug, elide in release).
+//!
+//! Calls that resolve only to bodyless trait declarations are
+//! conservatively treated as able to panic — any impl outside the
+//! graph could. Diagnostics land on the *sink* line (not the hot
+//! root), so the per-line waiver machinery applies unchanged.
+
+use super::Rule;
+use crate::callgraph::Analysis;
+use crate::diag::Diagnostic;
+use crate::lexer::TokenKind;
+use crate::source::SourceFile;
+use crate::LintContext;
+
+/// Identifier-shaped keywords that may precede `[` without it being an
+/// index expression (`let [a, b] = …`, `match [x, y] { … }`).
+const NON_INDEX_KEYWORDS: &[&str] = &[
+    "let", "mut", "ref", "in", "match", "if", "else", "return", "break", "continue", "move", "box",
+    "dyn", "impl", "for", "where", "as", "const", "static", "use",
+];
+
+/// Panic-family macros (besides `.unwrap()`/`.expect()`).
+const PANIC_MACROS: &[&str] = &["panic", "unreachable", "todo", "unimplemented"];
+
+/// Release-mode assert macros — hard aborts on the request path.
+/// `debug_assert*` is deliberately absent: it is the dispensation.
+const ASSERT_MACROS: &[&str] = &["assert", "assert_eq", "assert_ne"];
+
+/// One panicky construct found inside a function body.
+struct Sink {
+    line: u32,
+    col: u32,
+    desc: String,
+    hint: &'static str,
+}
+
+/// Flags panic sinks in any function transitively reachable from a
+/// `// lint: hot-path` root.
+pub struct PanicReachability;
+
+impl Rule for PanicReachability {
+    fn id(&self) -> &'static str {
+        "panic-reachability"
+    }
+
+    fn summary(&self) -> &'static str {
+        "functions reachable from `// lint: hot-path` roots must not unwrap/panic!/assert!/index unchecked"
+    }
+
+    fn check_workspace(&self, ctx: &LintContext, out: &mut Vec<Diagnostic>) {
+        let a = &ctx.analysis;
+        for d in &a.dangling {
+            if d.marker == "hot-path" {
+                out.push(Diagnostic {
+                    rule: self.id(),
+                    file: ctx.files[d.file].rel.clone(),
+                    line: d.line,
+                    col: 1,
+                    message: "dangling `// lint: hot-path` marker binds to no function".to_owned(),
+                    hint: "place the marker directly above a `fn` item (doc comments and \
+                           attributes between them are fine)"
+                        .to_owned(),
+                });
+            }
+        }
+        let roots = a.hot_roots();
+        let parent = a.reachable_from(&roots);
+        for (i, f) in a.fns.iter().enumerate() {
+            if parent[i].is_none() {
+                continue;
+            }
+            let file = &ctx.files[f.file];
+            for sink in scan_sinks(file, a, i) {
+                let via = if parent[i] == Some(i) {
+                    String::new()
+                } else {
+                    format!(" (reached via {})", a.chain(&parent, i, &ctx.files))
+                };
+                out.push(Diagnostic {
+                    rule: self.id(),
+                    file: file.rel.clone(),
+                    line: sink.line,
+                    col: sink.col,
+                    message: format!("{} on a hot path{via}", sink.desc),
+                    hint: sink.hint.to_owned(),
+                });
+            }
+        }
+        for &(caller, ci) in &a.conservative_calls {
+            if parent[caller].is_none() {
+                continue;
+            }
+            let f = &a.fns[caller];
+            let call = &f.calls[ci];
+            let file = &ctx.files[f.file];
+            out.push(Diagnostic {
+                rule: self.id(),
+                file: file.rel.clone(),
+                line: call.line,
+                col: call.col,
+                message: format!(
+                    "call to `{}` resolves only to a bodyless trait declaration \u{2014} \
+                     conservatively assumed to panic (hot path via {})",
+                    call.name,
+                    a.chain(&parent, caller, &ctx.files)
+                ),
+                hint: "give the trait method a workspace impl the resolver can see, or waive \
+                       with the reason the impl is panic-free"
+                    .to_owned(),
+            });
+        }
+    }
+}
+
+/// Scans the body of `a.fns[idx]` for panic sinks. Nested fn bodies are
+/// skipped — the nested fn is its own graph node and scans itself.
+fn scan_sinks(file: &SourceFile, a: &Analysis, idx: usize) -> Vec<Sink> {
+    let mut sinks = Vec::new();
+    let Some((open, close)) = a.fns[idx].body else {
+        return sinks;
+    };
+    let nested: Vec<(usize, usize)> = a
+        .fns
+        .iter()
+        .filter(|g| g.file == a.fns[idx].file)
+        .filter_map(|g| g.body)
+        .filter(|&(o, c)| o > open && c < close)
+        .collect();
+    let mut k = open + 1;
+    while k < close {
+        if let Some(&(_, nc)) = nested.iter().find(|&&(no, nc)| no <= k && k <= nc) {
+            k = nc + 1;
+            continue;
+        }
+        let tok = file.tokens[file.code[k]];
+        if file.is_test_line(tok.line) {
+            k += 1;
+            continue;
+        }
+        let text = file.code_tok(k);
+        let prev = k.checked_sub(1).map_or("", |p| file.code_tok(p));
+        let next = file.code.get(k + 1).map_or("", |_| file.code_tok(k + 1));
+
+        if (text == "unwrap" || text == "expect") && prev == "." && next == "(" {
+            sinks.push(Sink {
+                line: tok.line,
+                col: tok.col,
+                desc: format!("`.{text}()`"),
+                hint: "return the error/Option to the caller or use `.get()`; provably \
+                       unreachable cases may waive with \
+                       `// lint: allow(panic-reachability) \u{2014} <why unreachable>`",
+            });
+            k += 1;
+            continue;
+        }
+        if next == "!" && prev != "." {
+            if PANIC_MACROS.contains(&text) {
+                sinks.push(Sink {
+                    line: tok.line,
+                    col: tok.col,
+                    desc: format!("`{text}!`"),
+                    hint: "hot paths must be panic-free; encode the failure in the return type",
+                });
+                k += 1;
+                continue;
+            }
+            if ASSERT_MACROS.contains(&text) {
+                sinks.push(Sink {
+                    line: tok.line,
+                    col: tok.col,
+                    desc: format!("`{text}!`"),
+                    hint: "release asserts abort under load; use `debug_assert!` (checked in \
+                           debug, elided in release) or return an error",
+                });
+                k += 1;
+                continue;
+            }
+        }
+        if text == "["
+            && (prev == ")"
+                || prev == "]"
+                || (k > 0
+                    && file.tokens[file.code[k - 1]].kind == TokenKind::Ident
+                    && !NON_INDEX_KEYWORDS.contains(&prev)))
+            && !index_is_dispensed(file, k, tok.line)
+        {
+            sinks.push(Sink {
+                line: tok.line,
+                col: tok.col,
+                desc: "raw `[]` indexing with an unchecked dynamic index".to_owned(),
+                hint: "use `.get()`, index with a literal/range, or `debug_assert!` the bound \
+                       in the enclosing fn (the SWAR-kernel idiom)",
+            });
+        }
+        k += 1;
+    }
+    sinks
+}
+
+/// The indexing dispensations: literal index, range index, or a
+/// `debug_assert` in the enclosing fn.
+fn index_is_dispensed(file: &SourceFile, open_k: usize, line: u32) -> bool {
+    let close_k = file.matching_close(open_k);
+    let inner: Vec<usize> = (open_k + 1..close_k).collect();
+    if inner.len() == 1 && file.tokens[file.code[inner[0]]].kind == TokenKind::Number {
+        return true;
+    }
+    if inner
+        .windows(2)
+        .any(|w| file.code_tok(w[0]) == "." && file.code_tok(w[1]) == ".")
+    {
+        return true;
+    }
+    file.enclosing_fn(line).is_some_and(|f| f.has_debug_assert)
+}

@@ -1,0 +1,218 @@
+//! `seqlock-protocol`: structural verification of the optimistic-read
+//! discipline in the seqlock modules.
+//!
+//! v1's `seqlock-relaxed` rule demanded a hand-written waiver on every
+//! `Relaxed` load — documentation, not proof. v2 replaces it with a
+//! state machine over each function body that checks the orderings
+//! actually compose into one of the two sound shapes:
+//!
+//! * **CAS pre-read** — a `Relaxed` load whose value feeds a
+//!   `compare_exchange*` later in the same function. The CAS's success
+//!   ordering synchronizes; the pre-read only picks the expected value.
+//! * **Optimistic read (Boehm's seqlock pattern)** — an `Acquire` load
+//!   of the version word, the data reads, a `fence(Acquire)`, then a
+//!   re-load compared (`==`) against the first read. The re-load may be
+//!   `Relaxed` *because* the fence orders the data loads before it.
+//!
+//! Rule A: every `Relaxed` load must be one of the two (a CAS follows
+//! it, or a fence preceded by an `Acquire`-or-stronger load precedes it
+//! and an `==` comparison follows it). Rule B: every `Acquire` load in
+//! a CAS-free function is an optimistic begin and must be *completed* —
+//! fence, re-load, `==` — before the function ends. Anything else is a
+//! hole in the protocol, reported structurally instead of waived.
+
+use super::{Rule, SEQLOCK_MODULES};
+use crate::diag::Diagnostic;
+use crate::parser::FnInfo;
+use crate::source::SourceFile;
+use crate::LintContext;
+
+/// One ordering-relevant event in a function body, in token order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Event {
+    /// `.load(Ordering::Relaxed)`
+    LoadRelaxed,
+    /// `.load(Ordering::Acquire)` or stronger (`SeqCst`)
+    LoadAcquire,
+    /// `fence(Ordering::Acquire)` / `fence(Ordering::SeqCst)`
+    Fence,
+    /// `compare_exchange` / `compare_exchange_weak`
+    Cas,
+    /// An `==` comparison
+    Eq,
+}
+
+/// Verifies the load-seq → read-data → fence/re-load → compare-retry
+/// order in [`SEQLOCK_MODULES`].
+pub struct SeqlockProtocol;
+
+impl Rule for SeqlockProtocol {
+    fn id(&self) -> &'static str {
+        "seqlock-protocol"
+    }
+
+    fn summary(&self) -> &'static str {
+        "seqlock reads follow load-seq \u{2192} read-data \u{2192} fence/re-load \u{2192} compare-retry (CAS pre-reads exempt)"
+    }
+
+    fn check_workspace(&self, ctx: &LintContext, out: &mut Vec<Diagnostic>) {
+        for f in &ctx.analysis.fns {
+            let file = &ctx.files[f.file];
+            if !SEQLOCK_MODULES.contains(&file.rel.as_str()) || f.test {
+                continue;
+            }
+            self.check_fn(file, f, out);
+        }
+    }
+}
+
+impl SeqlockProtocol {
+    fn check_fn(&self, file: &SourceFile, f: &FnInfo, out: &mut Vec<Diagnostic>) {
+        let Some((open, close)) = f.body else {
+            return;
+        };
+        let events = scan_events(file, open, close);
+        let has_cas = events.iter().any(|(e, ..)| *e == Event::Cas);
+
+        for (i, &(event, line, col)) in events.iter().enumerate() {
+            match event {
+                Event::LoadRelaxed => {
+                    // Sound shape 1: CAS pre-read.
+                    let cas_after = events[i + 1..].iter().any(|(e, ..)| *e == Event::Cas);
+                    // Sound shape 2: fence-paired validation re-read.
+                    let begin_then_fence = events[..i]
+                        .iter()
+                        .position(|(e, ..)| *e == Event::Fence)
+                        .is_some_and(|fence_at| {
+                            events[..fence_at]
+                                .iter()
+                                .any(|(e, ..)| *e == Event::LoadAcquire)
+                        });
+                    let compared = events[i + 1..].iter().any(|(e, ..)| *e == Event::Eq);
+                    if !(cas_after || (begin_then_fence && compared)) {
+                        out.push(self.diag(
+                            file,
+                            line,
+                            col,
+                            "`Relaxed` load is neither a CAS pre-read nor a fence-paired \
+                             validation re-read"
+                                .to_owned(),
+                            "sound shapes: load feeds a later compare_exchange, or \
+                             Acquire-load \u{2192} fence(Acquire) \u{2192} this re-load \u{2192} `==` compare",
+                        ));
+                    }
+                }
+                Event::LoadAcquire if !has_cas => {
+                    // Optimistic begin: must complete with fence → re-load → ==.
+                    let completed = events[i + 1..]
+                        .iter()
+                        .position(|(e, ..)| *e == Event::Fence)
+                        .is_some_and(|rel| {
+                            let after_fence = &events[i + 1 + rel + 1..];
+                            after_fence
+                                .iter()
+                                .position(|(e, ..)| {
+                                    matches!(*e, Event::LoadRelaxed | Event::LoadAcquire)
+                                })
+                                .is_some_and(|rl| {
+                                    after_fence[rl + 1..].iter().any(|(e, ..)| *e == Event::Eq)
+                                })
+                        });
+                    if !completed {
+                        out.push(
+                            self.diag(
+                                file,
+                                line,
+                                col,
+                                "optimistic `Acquire` load of a version word is never validated"
+                                    .to_owned(),
+                                "complete the seqlock read: fence(Acquire) after the data reads, \
+                             re-load the version, `==`-compare against this value and retry",
+                            ),
+                        );
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+
+    fn diag(
+        &self,
+        file: &SourceFile,
+        line: u32,
+        col: u32,
+        message: String,
+        hint: &str,
+    ) -> Diagnostic {
+        Diagnostic {
+            rule: self.id(),
+            file: file.rel.clone(),
+            line,
+            col,
+            message,
+            hint: hint.to_owned(),
+        }
+    }
+}
+
+/// Harvests ordering events from the code tokens of one body, in order.
+fn scan_events(file: &SourceFile, open: usize, close: usize) -> Vec<(Event, u32, u32)> {
+    let mut events = Vec::new();
+    let mut k = open + 1;
+    while k < close {
+        let tok = file.tokens[file.code[k]];
+        if file.is_test_line(tok.line) {
+            k += 1;
+            continue;
+        }
+        let text = file.code_tok(k);
+        let prev = k.checked_sub(1).map_or("", |p| file.code_tok(p));
+        let next = file.code.get(k + 1).map_or("", |_| file.code_tok(k + 1));
+        match text {
+            "load" if prev == "." && next == "(" => {
+                if let Some(ord) = ordering_arg(file, k + 1, close) {
+                    let event = match ord {
+                        "Relaxed" => Some(Event::LoadRelaxed),
+                        "Acquire" | "SeqCst" => Some(Event::LoadAcquire),
+                        _ => None,
+                    };
+                    if let Some(e) = event {
+                        events.push((e, tok.line, tok.col));
+                    }
+                }
+            }
+            "fence" if prev != "." && next == "(" => {
+                if let Some("Acquire" | "SeqCst" | "AcqRel") = ordering_arg(file, k + 1, close) {
+                    events.push((Event::Fence, tok.line, tok.col));
+                }
+            }
+            "compare_exchange" | "compare_exchange_weak" if prev == "." && next == "(" => {
+                events.push((Event::Cas, tok.line, tok.col));
+            }
+            "=" if next == "=" && !matches!(prev, "=" | "!" | "<" | ">") => {
+                events.push((Event::Eq, tok.line, tok.col));
+                k += 1; // consume both `=`s
+            }
+            _ => {}
+        }
+        k += 1;
+    }
+    events
+}
+
+/// The `Ordering::X` variant named inside the paren group opening at
+/// code index `open_paren` (bounded by `close`).
+fn ordering_arg(file: &SourceFile, open_paren: usize, close: usize) -> Option<&str> {
+    let end = file.matching_close(open_paren).min(close);
+    for k in open_paren + 1..end {
+        if k + 3 < end
+            && file.code_tok(k) == "Ordering"
+            && file.code_tok(k + 1) == ":"
+            && file.code_tok(k + 2) == ":"
+        {
+            return Some(file.code_tok(k + 3));
+        }
+    }
+    None
+}

@@ -1,0 +1,374 @@
+//! `format-exhaustiveness`: wire-format enums are handled variant by
+//! variant, and decode functions consume every field they read.
+//!
+//! Two marker-driven checks keep the wire protocol and the snapshot
+//! formats honest ahead of the durability tier:
+//!
+//! * **Enum coverage** — an enum annotated `// lint: wire-format`
+//!   (e.g. `OpCode`, `WireError`) must have *every* variant appear in a
+//!   pattern position somewhere in non-test crate source, and any
+//!   `match` whose arm patterns name the enum must not hide behind a
+//!   `_` arm. Adding a variant then forces every consumer match to be
+//!   updated in the same change — the compiler only enforces this for
+//!   matches without wildcards, so the lint bans the wildcards.
+//!   Construction-side matches (e.g. `from_u8` matching integer
+//!   patterns and *building* variants) are untouched: only arm
+//!   *patterns* count.
+//! * **Decode field use** — a function annotated
+//!   `// lint: wire-format(decode)` reads header fields through the
+//!   workspace's `reader` cursor convention. Every `let field =
+//!   …reader…;` binding must be used later in the function; a read
+//!   bound to `_` or never referenced again is an unvalidated header
+//!   field (the classic "parsed but not checked" format bug).
+
+use super::{is_crate_src, Rule};
+use crate::diag::Diagnostic;
+use crate::parser::FnInfo;
+use crate::source::SourceFile;
+use crate::LintContext;
+use std::collections::{HashMap, HashSet};
+
+/// One `match` arm: full code-token range of the pattern (guard
+/// included) plus the pattern's depth-0 token indices.
+struct Arm {
+    range: (usize, usize),
+    top: Vec<usize>,
+}
+
+/// Enforces variant coverage for wire enums and field use in decode fns.
+pub struct FormatExhaustiveness;
+
+impl Rule for FormatExhaustiveness {
+    fn id(&self) -> &'static str {
+        "format-exhaustiveness"
+    }
+
+    fn summary(&self) -> &'static str {
+        "wire-format enum variants are all matched (no `_` arms); decode fns use every field they read"
+    }
+
+    fn check_workspace(&self, ctx: &LintContext, out: &mut Vec<Diagnostic>) {
+        let a = &ctx.analysis;
+        for d in &a.dangling {
+            if d.marker.starts_with("wire-format") {
+                out.push(Diagnostic {
+                    rule: self.id(),
+                    file: ctx.files[d.file].rel.clone(),
+                    line: d.line,
+                    col: 1,
+                    message: format!("dangling `// lint: {}` marker binds to no item", d.marker),
+                    hint: "place `wire-format` directly above an enum and \
+                           `wire-format(decode)` directly above a fn"
+                        .to_owned(),
+                });
+            }
+        }
+
+        // Wire enum name → variant set (name-level, like call resolution).
+        let mut wire: HashMap<&str, Vec<(&str, usize)>> = HashMap::new();
+        for (ei, e) in a.enums.iter().enumerate() {
+            if e.wire {
+                let entry = wire.entry(e.name.as_str()).or_default();
+                for (v, _) in &e.variants {
+                    entry.push((v.as_str(), ei));
+                }
+            }
+        }
+
+        let mut matched: HashSet<(String, String)> = HashSet::new();
+        if !wire.is_empty() {
+            for file in &ctx.files {
+                if !is_crate_src(&file.rel) {
+                    continue;
+                }
+                self.scan_file(file, &wire, &mut matched, out);
+            }
+            for (ename, variants) in &wire {
+                for &(vname, ei) in variants {
+                    if matched.contains(&((*ename).to_owned(), (*vname).to_owned())) {
+                        continue;
+                    }
+                    let e = &a.enums[ei];
+                    let line = e
+                        .variants
+                        .iter()
+                        .find(|(v, _)| v == vname)
+                        .map_or(e.line, |&(_, l)| l);
+                    out.push(Diagnostic {
+                        rule: self.id(),
+                        file: ctx.files[e.file].rel.clone(),
+                        line,
+                        col: 1,
+                        message: format!(
+                            "wire-format variant `{ename}::{vname}` is never matched anywhere \
+                             in crate source"
+                        ),
+                        hint: "handle the variant in the consuming match (frame loop, status \
+                               mapping, …) \u{2014} unreferenced wire states rot silently"
+                            .to_owned(),
+                    });
+                }
+            }
+        }
+
+        for f in &a.fns {
+            if f.wire_decode && !f.test {
+                self.check_decode_fn(&ctx.files[f.file], f, out);
+            }
+        }
+    }
+}
+
+impl FormatExhaustiveness {
+    /// Collects matched variants and flags `_` arms in wire matches.
+    fn scan_file(
+        &self,
+        file: &SourceFile,
+        wire: &HashMap<&str, Vec<(&str, usize)>>,
+        matched: &mut HashSet<(String, String)>,
+        out: &mut Vec<Diagnostic>,
+    ) {
+        let mut regions: Vec<(usize, usize)> = Vec::new();
+        for k in 0..file.code.len() {
+            let text = file.code_tok(k);
+            let line = file.tokens[file.code[k]].line;
+            if file.is_test_line(line) {
+                continue;
+            }
+            let prev = k.checked_sub(1).map_or("", |p| file.code_tok(p));
+            match text {
+                "match" if prev != "." => {
+                    if let Some(arms) = match_arms(file, k) {
+                        let wire_match = arms.iter().find_map(|arm| {
+                            (arm.range.0..arm.range.1).find_map(|j| {
+                                let t = file.code_tok(j);
+                                (wire.contains_key(t)
+                                    && file.code.get(j + 1).is_some_and(|_| {
+                                        file.code_tok(j + 1) == ":"
+                                            && j + 2 < file.code.len()
+                                            && file.code_tok(j + 2) == ":"
+                                    }))
+                                .then(|| t.to_owned())
+                            })
+                        });
+                        for arm in &arms {
+                            regions.push(arm.range);
+                            if let Some(ename) = &wire_match {
+                                for &j in &arm.top {
+                                    if file.code_tok(j) == "_" {
+                                        let tok = file.tokens[file.code[j]];
+                                        out.push(Diagnostic {
+                                            rule: self.id(),
+                                            file: file.rel.clone(),
+                                            line: tok.line,
+                                            col: tok.col,
+                                            message: format!(
+                                                "`_` arm in a match over wire-format enum \
+                                                 `{ename}`"
+                                            ),
+                                            hint: "name every variant so adding one forces \
+                                                   this match to be revisited"
+                                                .to_owned(),
+                                        });
+                                    }
+                                }
+                            }
+                        }
+                    }
+                }
+                // `if let` / `while let` / `let … else` patterns.
+                "let" => {
+                    let mut j = k + 1;
+                    while j < file.code.len() {
+                        match file.code_tok(j) {
+                            "(" | "[" | "{" => j = file.matching_close(j) + 1,
+                            "=" | ";" => break,
+                            _ => j += 1,
+                        }
+                    }
+                    regions.push((k + 1, j));
+                }
+                // `matches!(expr, pattern)` — the second argument.
+                "matches"
+                    if file
+                        .code
+                        .get(k + 1)
+                        .is_some_and(|_| file.code_tok(k + 1) == "!")
+                        && file
+                            .code
+                            .get(k + 2)
+                            .is_some_and(|_| file.code_tok(k + 2) == "(") =>
+                {
+                    let gc = file.matching_close(k + 2);
+                    let mut j = k + 3;
+                    while j < gc {
+                        match file.code_tok(j) {
+                            "(" | "[" | "{" => j = file.matching_close(j) + 1,
+                            "," => break,
+                            _ => j += 1,
+                        }
+                    }
+                    regions.push((j + 1, gc));
+                }
+                _ => {}
+            }
+        }
+        for (s, e) in regions {
+            let mut j = s;
+            while j + 2 < e {
+                let t = file.code_tok(j);
+                if wire.contains_key(t)
+                    && file.code_tok(j + 1) == ":"
+                    && file.code_tok(j + 2) == ":"
+                    && j + 3 < e
+                {
+                    matched.insert((t.to_owned(), file.code_tok(j + 3).to_owned()));
+                    j += 4;
+                } else {
+                    j += 1;
+                }
+            }
+        }
+    }
+
+    /// Every `let field = …reader…;` in a decode fn must be used later.
+    fn check_decode_fn(&self, file: &SourceFile, f: &FnInfo, out: &mut Vec<Diagnostic>) {
+        let Some((open, close)) = f.body else {
+            return;
+        };
+        let mut j = open + 1;
+        while j < close {
+            if file.code_tok(j) != "let" {
+                j += 1;
+                continue;
+            }
+            let mut b = j + 1;
+            if file.code_tok(b) == "mut" {
+                b += 1;
+            }
+            let name = file.code_tok(b);
+            let is_simple = (name == "_"
+                || name
+                    .chars()
+                    .next()
+                    .is_some_and(|c| c.is_alphabetic() || c == '_'))
+                && b + 1 < close
+                && file.code_tok(b + 1) == "="
+                && file.code_tok(b + 2) != "=";
+            if !is_simple {
+                j += 1;
+                continue;
+            }
+            // Statement end at this depth.
+            let mut s = b + 2;
+            while s < close {
+                match file.code_tok(s) {
+                    "(" | "[" | "{" => s = file.matching_close(s) + 1,
+                    ";" => break,
+                    _ => s += 1,
+                }
+            }
+            let reads_cursor = (b + 2..s).any(|i| file.code_tok(i) == "reader") && name != "reader";
+            if reads_cursor {
+                let tok = file.tokens[file.code[b]];
+                if name == "_" {
+                    out.push(Diagnostic {
+                        rule: self.id(),
+                        file: file.rel.clone(),
+                        line: tok.line,
+                        col: tok.col,
+                        message: "decoded field discarded with `let _ =`".to_owned(),
+                        hint: "validate the field or document the skip by consuming it \
+                               explicitly (e.g. compare against the expected constant)"
+                            .to_owned(),
+                    });
+                } else if !(s + 1..close).any(|i| file.code_tok(i) == name) {
+                    out.push(Diagnostic {
+                        rule: self.id(),
+                        file: file.rel.clone(),
+                        line: tok.line,
+                        col: tok.col,
+                        message: format!("decoded field `{name}` is read but never used"),
+                        hint: "every header field must be validated or consumed; unread \
+                               fields hide format drift"
+                            .to_owned(),
+                    });
+                }
+            }
+            j = s + 1;
+        }
+    }
+}
+
+/// Parses the arms of the `match` whose keyword is at code index `k`.
+fn match_arms(file: &SourceFile, k: usize) -> Option<Vec<Arm>> {
+    // Scrutinee: scan to the body `{` at top level (groups skipped).
+    let mut j = k + 1;
+    let body_open = loop {
+        if j >= file.code.len() {
+            return None;
+        }
+        match file.code_tok(j) {
+            "(" | "[" => j = file.matching_close(j) + 1,
+            "{" => break j,
+            ";" => return None,
+            _ => j += 1,
+        }
+    };
+    let body_close = file.matching_close(body_open);
+    let mut arms = Vec::new();
+    let mut j = body_open + 1;
+    while j < body_close {
+        // Pattern mode: up to `=>` at depth 0.
+        let start = j;
+        let mut top = Vec::new();
+        let end = loop {
+            if j >= body_close {
+                break j;
+            }
+            match file.code_tok(j) {
+                "(" | "[" | "{" => j = file.matching_close(j) + 1,
+                "=" if file
+                    .code
+                    .get(j + 1)
+                    .is_some_and(|_| file.code_tok(j + 1) == ">") =>
+                {
+                    break j;
+                }
+                _ => {
+                    top.push(j);
+                    j += 1;
+                }
+            }
+        };
+        if end > start {
+            arms.push(Arm {
+                range: (start, end),
+                top,
+            });
+        }
+        if j >= body_close {
+            break;
+        }
+        j += 2; // past `=>`
+                // Value mode: a block, or an expression up to `,` at depth 0.
+        if j < body_close && file.code_tok(j) == "{" {
+            j = file.matching_close(j) + 1;
+            if j < body_close && file.code_tok(j) == "," {
+                j += 1;
+            }
+        } else {
+            while j < body_close {
+                match file.code_tok(j) {
+                    "(" | "[" | "{" => j = file.matching_close(j) + 1,
+                    "," => {
+                        j += 1;
+                        break;
+                    }
+                    _ => j += 1,
+                }
+            }
+        }
+    }
+    Some(arms)
+}

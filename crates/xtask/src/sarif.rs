@@ -1,0 +1,224 @@
+//! SARIF 2.1.0 emission — `vcf-xtask lint --format sarif`.
+//!
+//! One run, one tool (`vcf-xtask`), one result per diagnostic. The
+//! schema subset here is what GitHub code scanning consumes for
+//! PR-diff annotations: tool driver with rule metadata, and results
+//! carrying `ruleId`, a message, and a single physical location with a
+//! one-line region. Spans are 1-based in both SARIF and our
+//! [`Diagnostic`], so coordinates pass through untouched.
+
+use crate::diag::Diagnostic;
+use crate::json::Value;
+use crate::rules;
+
+/// The SARIF schema URI required by `$schema`.
+const SCHEMA: &str = "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/Schemata/sarif-schema-2.1.0.json";
+
+/// Tool version reported in the driver block.
+const VERSION: &str = env!("CARGO_PKG_VERSION");
+
+/// Meta-rules emitted by the waiver machinery rather than a [`rules::Rule`].
+const META_RULES: &[(&str, &str)] = &[
+    ("lint-waiver", "waivers must name a rule and carry a reason"),
+    (
+        "stale-waiver",
+        "waivers that no longer suppress anything must be deleted",
+    ),
+];
+
+/// Renders a full SARIF 2.1.0 log for one lint run.
+pub fn report(diags: &[Diagnostic]) -> String {
+    let mut rule_meta: Vec<(String, String)> = rules::all_rules()
+        .iter()
+        .map(|r| (r.id().to_owned(), r.summary().to_owned()))
+        .collect();
+    for (id, summary) in META_RULES {
+        rule_meta.push(((*id).to_owned(), (*summary).to_owned()));
+    }
+    let rule_index = |id: &str| rule_meta.iter().position(|(rid, _)| rid == id);
+
+    let rules_json = Value::Arr(
+        rule_meta
+            .iter()
+            .map(|(id, summary)| {
+                Value::Obj(vec![
+                    ("id".into(), Value::Str(id.clone())),
+                    (
+                        "shortDescription".into(),
+                        Value::Obj(vec![("text".into(), Value::Str(summary.clone()))]),
+                    ),
+                    (
+                        "defaultConfiguration".into(),
+                        Value::Obj(vec![("level".into(), Value::Str("error".into()))]),
+                    ),
+                ])
+            })
+            .collect(),
+    );
+
+    let results = Value::Arr(
+        diags
+            .iter()
+            .map(|d| {
+                let mut message = d.message.clone();
+                if !d.hint.is_empty() {
+                    message.push_str(" \u{2014} hint: ");
+                    message.push_str(&d.hint);
+                }
+                let mut result = vec![
+                    ("ruleId".into(), Value::Str(d.rule.to_owned())),
+                    ("level".into(), Value::Str("error".into())),
+                    (
+                        "message".into(),
+                        Value::Obj(vec![("text".into(), Value::Str(message))]),
+                    ),
+                    (
+                        "locations".into(),
+                        Value::Arr(vec![Value::Obj(vec![(
+                            "physicalLocation".into(),
+                            Value::Obj(vec![
+                                (
+                                    "artifactLocation".into(),
+                                    Value::Obj(vec![
+                                        ("uri".into(), Value::Str(d.file.clone())),
+                                        ("uriBaseId".into(), Value::Str("SRCROOT".into())),
+                                    ]),
+                                ),
+                                (
+                                    "region".into(),
+                                    Value::Obj(vec![
+                                        ("startLine".into(), Value::Num(f64::from(d.line))),
+                                        ("startColumn".into(), Value::Num(f64::from(d.col))),
+                                    ]),
+                                ),
+                            ]),
+                        )])]),
+                    ),
+                ];
+                if let Some(i) = rule_index(d.rule) {
+                    #[allow(clippy::cast_precision_loss)]
+                    result.insert(1, ("ruleIndex".into(), Value::Num(i as f64)));
+                }
+                Value::Obj(result)
+            })
+            .collect(),
+    );
+
+    let run = Value::Obj(vec![
+        (
+            "tool".into(),
+            Value::Obj(vec![(
+                "driver".into(),
+                Value::Obj(vec![
+                    ("name".into(), Value::Str("vcf-xtask".into())),
+                    ("version".into(), Value::Str(VERSION.into())),
+                    (
+                        "informationUri".into(),
+                        Value::Str("https://example.invalid/vcf-xtask".into()),
+                    ),
+                    ("rules".into(), rules_json),
+                ]),
+            )]),
+        ),
+        (
+            "originalUriBaseIds".into(),
+            Value::Obj(vec![(
+                "SRCROOT".into(),
+                Value::Obj(vec![("uri".into(), Value::Str("file:///".into()))]),
+            )]),
+        ),
+        ("columnKind".into(), Value::Str("unicodeCodePoints".into())),
+        ("results".into(), results),
+    ]);
+
+    Value::Obj(vec![
+        ("$schema".into(), Value::Str(SCHEMA.into())),
+        ("version".into(), Value::Str("2.1.0".into())),
+        ("runs".into(), Value::Arr(vec![run])),
+    ])
+    .render()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json;
+
+    fn sample() -> Diagnostic {
+        Diagnostic {
+            rule: "no-panic-hot-path",
+            file: "crates/core/src/vcf.rs".into(),
+            line: 42,
+            col: 7,
+            message: "hot path can reach a panic".into(),
+            hint: "use get()".into(),
+        }
+    }
+
+    #[test]
+    fn emits_required_toplevel_fields() {
+        let log = report(&[sample()]);
+        let v = json::parse(&log).expect("sarif output must be valid json");
+        assert_eq!(
+            v.get("version").and_then(json::Value::as_str),
+            Some("2.1.0")
+        );
+        assert!(v
+            .get("$schema")
+            .and_then(json::Value::as_str)
+            .unwrap()
+            .contains("2.1.0"));
+        let runs = v.get("runs").and_then(json::Value::as_arr).unwrap();
+        assert_eq!(runs.len(), 1);
+        let driver = runs[0].get("tool").unwrap().get("driver").unwrap();
+        assert_eq!(
+            driver.get("name").and_then(json::Value::as_str),
+            Some("vcf-xtask")
+        );
+        assert!(!driver
+            .get("rules")
+            .and_then(json::Value::as_arr)
+            .unwrap()
+            .is_empty());
+    }
+
+    #[test]
+    fn result_location_carries_span() {
+        let log = report(&[sample()]);
+        let v = json::parse(&log).unwrap();
+        let results = v.get("runs").and_then(json::Value::as_arr).unwrap()[0]
+            .get("results")
+            .and_then(json::Value::as_arr)
+            .unwrap();
+        assert_eq!(results.len(), 1);
+        let r = &results[0];
+        assert_eq!(
+            r.get("ruleId").and_then(json::Value::as_str),
+            Some("no-panic-hot-path")
+        );
+        let region = r.get("locations").and_then(json::Value::as_arr).unwrap()[0]
+            .get("physicalLocation")
+            .unwrap()
+            .get("region")
+            .unwrap();
+        assert_eq!(
+            region.get("startLine").and_then(json::Value::as_num),
+            Some(42.0)
+        );
+        assert_eq!(
+            region.get("startColumn").and_then(json::Value::as_num),
+            Some(7.0)
+        );
+    }
+
+    #[test]
+    fn empty_run_still_validates() {
+        let log = report(&[]);
+        let v = json::parse(&log).unwrap();
+        let results = v.get("runs").and_then(json::Value::as_arr).unwrap()[0]
+            .get("results")
+            .and_then(json::Value::as_arr)
+            .unwrap();
+        assert!(results.is_empty());
+    }
+}

@@ -120,6 +120,74 @@ fn usage_errors_exit_two() {
 }
 
 #[test]
+fn sarif_format_emits_a_valid_log() {
+    let root = make_workspace("cli-sarif", DIRTY_LIB);
+    let out = lint(&root, &["--format", "sarif"]);
+    assert_eq!(out.status.code(), Some(1), "{out:?}");
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    let value = json::parse(&stdout).expect("stdout must be a SARIF log");
+    assert_eq!(
+        value.get("version").and_then(json::Value::as_str),
+        Some("2.1.0")
+    );
+    let runs = value.get("runs").and_then(json::Value::as_arr).unwrap();
+    let results = runs[0]
+        .get("results")
+        .and_then(json::Value::as_arr)
+        .unwrap();
+    assert_eq!(results.len(), 1);
+    assert_eq!(
+        results[0].get("ruleId").and_then(json::Value::as_str),
+        Some("crate-unsafe-attr")
+    );
+
+    // A clean run is still a structurally complete log (exit 0, empty results).
+    let root = make_workspace("cli-sarif-clean", CLEAN_LIB);
+    let out = lint(&root, &["--format", "sarif"]);
+    assert_eq!(out.status.code(), Some(0), "{out:?}");
+    let value = json::parse(&String::from_utf8(out.stdout).unwrap()).unwrap();
+    let runs = value.get("runs").and_then(json::Value::as_arr).unwrap();
+    assert_eq!(
+        runs[0]
+            .get("results")
+            .and_then(json::Value::as_arr)
+            .map(<[_]>::len),
+        Some(0)
+    );
+}
+
+#[test]
+fn bench_check_validates_baselines() {
+    // Baselines missing entirely: every schema reports a problem.
+    let root = make_workspace("cli-bench-missing", CLEAN_LIB);
+    let out = bin()
+        .args(["bench-check", "--root"])
+        .arg(&root)
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(1), "{out:?}");
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(stdout.contains("BENCH_insert.json"), "stdout: {stdout}");
+    assert!(stdout.contains("BENCH_server.json"), "stdout: {stdout}");
+
+    // A malformed value is pinpointed by key.
+    let root = make_workspace("cli-bench-bad", CLEAN_LIB);
+    fs::write(root.join("BENCH_insert.json"), r#"{"insert/x": -1.0}"#).unwrap();
+    fs::write(root.join("BENCH_server.json"), r#"{"server/x": 1.0}"#).unwrap();
+    let out = bin()
+        .args(["bench-check", "--root"])
+        .arg(&root)
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(1), "{out:?}");
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(
+        stdout.contains("`insert/x` = -1 is not a positive finite"),
+        "stdout: {stdout}"
+    );
+}
+
+#[test]
 fn rules_subcommand_lists_every_rule() {
     let out = bin().arg("rules").output().unwrap();
     assert_eq!(out.status.code(), Some(0), "{out:?}");
@@ -127,8 +195,9 @@ fn rules_subcommand_lists_every_rule() {
     for rule in [
         "safety-comment",
         "atomic-ordering",
-        "seqlock-relaxed",
-        "no-panic-hot-path",
+        "seqlock-protocol",
+        "panic-reachability",
+        "format-exhaustiveness",
         "theorem1-confinement",
         "missing-docs-public",
         "crate-unsafe-attr",

@@ -1,0 +1,23 @@
+// Failing fixture: the hot root is panic-free itself; every sink hides
+// two calls down, so only transitive propagation over the call graph
+// can find them (v1's per-file scan could not).
+
+/// Hot entry point — clean body, dirty callees.
+// lint: hot-path
+pub fn insert(keys: &[u64]) -> usize {
+    stage_one(keys)
+}
+
+/// First hop: still clean.
+fn stage_one(keys: &[u64]) -> usize {
+    stage_two(keys)
+}
+
+/// Second hop: three distinct sinks — unwrap, release assert, dynamic
+/// index.
+fn stage_two(keys: &[u64]) -> usize {
+    let first = keys.first().unwrap();
+    assert!(keys.len() < 1024);
+    let i = (*first as usize) % keys.len();
+    usize::from(keys[i] != 0)
+}

@@ -1,0 +1,30 @@
+// Passing fixture: the same call shape with every sink dispensed —
+// `.get()`-style fallbacks, a debug_assert carrying the bound (the
+// SWAR-kernel idiom), and a panicky fn that is simply unreachable from
+// any hot root.
+
+/// Hot entry point.
+// lint: hot-path
+pub fn insert(keys: &[u64]) -> usize {
+    stage_one(keys)
+}
+
+/// First hop.
+fn stage_one(keys: &[u64]) -> usize {
+    stage_two(keys)
+}
+
+/// Second hop: bound asserted in debug, graceful in release.
+fn stage_two(keys: &[u64]) -> usize {
+    debug_assert!(!keys.is_empty(), "callers batch at least one key");
+    let Some(&first) = keys.first() else {
+        return 0;
+    };
+    let i = (first as usize) % keys.len();
+    usize::from(keys[i] != 0)
+}
+
+/// Report-side code, unreachable from the root: free to panic.
+pub fn render_report(keys: &[u64]) -> u64 {
+    keys.last().copied().unwrap()
+}

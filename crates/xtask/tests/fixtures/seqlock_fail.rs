@@ -1,7 +1,15 @@
-// Failing fixture: a Relaxed load in a seqlock module with no waiver.
+// Failing fixture: two protocol holes — a bare `Relaxed` load that
+// neither feeds a CAS nor validates a fence-paired read, and an
+// optimistic `Acquire` begin that is never completed.
+
 use std::sync::atomic::{AtomicU32, Ordering};
 
-/// Reads the version word.
-pub fn version(v: &AtomicU32) -> u32 {
+/// A `Relaxed` read used directly as the answer.
+pub fn read_version_unsound(v: &AtomicU32) -> u32 {
     v.load(Ordering::Relaxed)
+}
+
+/// An optimistic begin with no fence, re-load, or compare after it.
+pub fn begin_without_validate(v: &AtomicU32) -> u32 {
+    v.load(Ordering::Acquire)
 }

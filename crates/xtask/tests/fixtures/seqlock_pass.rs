@@ -1,10 +1,32 @@
-// Passing fixture: the Relaxed load carries a waiver naming the pairing
-// fence, so the rule is satisfied (and the waiver is used, not stale).
+// Passing fixture: both sound shapes the protocol rule admits.
+
 use std::sync::atomic::{fence, AtomicU32, Ordering};
 
-/// Validates the version word after the data reads.
-pub fn validate(v: &AtomicU32, before: u32) -> bool {
-    fence(Ordering::Acquire);
-    // lint: allow(seqlock-relaxed) — paired with the fence(Acquire) above
-    v.load(Ordering::Relaxed) == before
+/// Sound shape 1 — CAS pre-read: the `Relaxed` load only picks the
+/// expected value; the `compare_exchange` success ordering synchronizes.
+pub fn try_lock(v: &AtomicU32) -> bool {
+    let seen = v.load(Ordering::Relaxed);
+    if seen & 1 != 0 {
+        return false;
+    }
+    v.compare_exchange(seen, seen + 1, Ordering::Acquire, Ordering::Relaxed)
+        .is_ok()
+}
+
+/// Sound shape 2 — Boehm's optimistic read: Acquire-load the version,
+/// read the data, fence, re-load (`Relaxed` is enough past the fence),
+/// `==`-compare and retry.
+pub fn optimistic_read(v: &AtomicU32, data: &[u32], i: usize) -> Option<u32> {
+    loop {
+        let begin = v.load(Ordering::Acquire);
+        if begin & 1 != 0 {
+            continue;
+        }
+        let word = data.get(i).copied()?;
+        fence(Ordering::Acquire);
+        let end = v.load(Ordering::Relaxed);
+        if begin == end {
+            return Some(word);
+        }
+    }
 }

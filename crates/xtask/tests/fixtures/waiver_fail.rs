@@ -1,7 +1,7 @@
 // Failing fixture: one malformed waiver (no reason) and one stale
 // waiver (the rule it names never fires on the next line).
-// lint: allow(no-panic-hot-path)
+// lint: allow(panic-reachability)
 pub fn covered() {}
 
-// lint: allow(seqlock-relaxed) — nothing here actually loads Relaxed
+// lint: allow(seqlock-protocol) — nothing here touches an atomic
 pub fn stale() {}

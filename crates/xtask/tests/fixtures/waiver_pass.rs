@@ -1,0 +1,11 @@
+// Passing fixture: a well-formed waiver that actually suppresses a
+// finding — neither `lint-waiver` nor `stale-waiver` fires, and the
+// waived diagnostic itself is gone.
+
+/// Slot probe on the hot path.
+// lint: hot-path
+pub fn probe(slots: &[u64], key: u64) -> u64 {
+    let i = (key as usize) % slots.len();
+    // lint: allow(panic-reachability) — `i` is bounded by the modulo above
+    slots[i]
+}

@@ -1,0 +1,33 @@
+// Failing fixture: a wildcard arm hides wire variants, and the decode
+// fn parses header fields it never validates.
+
+/// Operation codes as they appear on the wire.
+// lint: wire-format
+pub enum OpCode {
+    /// Insert a key.
+    Insert,
+    /// Membership probe.
+    Lookup,
+    /// Remove a key.
+    Delete,
+}
+
+/// Frame dispatch hiding behind a wildcard.
+pub fn dispatch(op: OpCode) -> u8 {
+    match op {
+        OpCode::Insert => 1,
+        _ => 0,
+    }
+}
+
+/// Header decode: `magic` parsed but unchecked, one field discarded.
+// lint: wire-format(decode)
+pub fn decode_header(reader: &mut Reader<'_>) -> u16 {
+    let magic = reader.u32();
+    let version = reader.u16();
+    let _ = reader.u16();
+    version
+}
+
+/// Minimal cursor for the fixture.
+pub struct Reader<'a>(pub &'a [u8]);

@@ -1,0 +1,52 @@
+// Passing fixture: every variant named in the consuming match, every
+// decoded field validated or returned.
+
+/// Wire magic for the demo header.
+pub const MAGIC: u32 = 0x5643_4631;
+
+/// Operation codes as they appear on the wire.
+// lint: wire-format
+pub enum OpCode {
+    /// Insert a key.
+    Insert,
+    /// Membership probe.
+    Lookup,
+    /// Remove a key.
+    Delete,
+}
+
+/// Frame dispatch naming every variant — adding one breaks the build
+/// here instead of rotting behind a `_`.
+pub fn dispatch(op: OpCode) -> u8 {
+    match op {
+        OpCode::Insert => 1,
+        OpCode::Lookup => 2,
+        OpCode::Delete => 3,
+    }
+}
+
+/// Header decode validating everything it reads.
+// lint: wire-format(decode)
+pub fn decode_header(reader: &mut Reader<'_>) -> Result<u16, ()> {
+    let magic = reader.u32();
+    if magic != MAGIC {
+        return Err(());
+    }
+    let version = reader.u16();
+    Ok(version)
+}
+
+/// Minimal cursor for the fixture.
+pub struct Reader<'a>(pub &'a [u8]);
+
+impl Reader<'_> {
+    /// Next little-endian u32.
+    pub fn u32(&mut self) -> u32 {
+        0
+    }
+
+    /// Next little-endian u16.
+    pub fn u16(&mut self) -> u16 {
+        0
+    }
+}

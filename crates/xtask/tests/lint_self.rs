@@ -40,3 +40,17 @@ fn workspace_has_tsan_suppressions_file() {
          staleness rule has something to check"
     );
 }
+
+#[test]
+fn full_lint_run_stays_within_budget() {
+    // The linter gates every CI run and pre-commit hook; the semantic
+    // front-end (parse + call-graph resolution) must stay interactive.
+    let start = std::time::Instant::now();
+    let ctx = LintContext::load(&workspace_root()).expect("workspace loads");
+    ctx.run(None).expect("full run");
+    let elapsed = start.elapsed();
+    assert!(
+        elapsed < std::time::Duration::from_secs(3),
+        "full lint run took {elapsed:?} — keep the front-end under the 3s budget"
+    );
+}
